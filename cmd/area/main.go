@@ -1,0 +1,40 @@
+// Command area reproduces the paper's Table I: the silicon area of a
+// MemPool tile with the different LRSCwait designs, from the calibrated
+// component-count model, including the LRSCwait_ideal extrapolation that
+// shows why a full per-core queue per bank is physically infeasible.
+//
+// Usage:
+//
+//	area [-cores N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/stats"
+)
+
+func main() {
+	cores := flag.Int("cores", 256, "system core count for the ideal-queue extrapolation")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	rows := area.TableI(area.Default(), *cores)
+	t := stats.NewTable("Table I — area of a mempool_tile with different LRSCwait designs",
+		"architecture", "parameters", "model kGE", "model %", "paper kGE")
+	for _, r := range rows {
+		paper := "-"
+		if r.PaperKGE > 0 {
+			paper = stats.F(r.PaperKGE, 0)
+		}
+		t.Add(r.Design, r.Params, stats.F(r.AreaKGE, 1),
+			stats.F(100+r.OverheadP, 1), paper)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

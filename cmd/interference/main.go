@@ -1,0 +1,59 @@
+// Command interference reproduces the paper's Fig. 5: the relative
+// throughput of matrix-multiplication workers while the remaining cores
+// execute atomics on a small number of histogram bins. Colibri's sleeping
+// waiters leave the workers essentially untouched; LRSC's retry traffic
+// saturates the hot tile's paths and drags unrelated workers down.
+//
+// Usage:
+//
+//	interference [-scale mempool|medium|small] [-csv]
+//	             [-warmup N] [-measure N] [-matn N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	warmup := flag.Int("warmup", 4000, "warm-up cycles before measurement")
+	measure := flag.Int("measure", 20000, "measured cycles")
+	matN := flag.Int("matn", 128, "matrix dimension (>= worker count)")
+	flag.Parse()
+
+	topo, ok := experiments.TopoByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "interference: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	// The paper sweeps 1..16 bins for this figure.
+	bins := []int{1, 4, 8, 12, 16}
+	series := experiments.Fig5(topo, bins, *matN, *warmup, *measure)
+
+	header := []string{"#bins"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	t := stats.NewTable(fmt.Sprintf(
+		"Fig. 5 — relative matmul throughput under atomics interference (%d cores)",
+		topo.NumCores()), header...)
+	for i, nb := range bins {
+		row := []string{strconv.Itoa(nb)}
+		for _, s := range series {
+			row = append(row, stats.F(s.Points[i].Rel, 3))
+		}
+		t.Add(row...)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

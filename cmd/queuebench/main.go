@@ -1,0 +1,61 @@
+// Command queuebench reproduces the paper's Fig. 6: concurrent-queue
+// accesses per cycle for a growing number of cores, with the per-core
+// fairness band (slowest/fastest core) that shows Colibri's balanced
+// service order against LRSC's retry lottery.
+//
+// Usage:
+//
+//	queuebench [-scale mempool|medium|small] [-csv] [-warmup N] [-measure N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	warmup := flag.Int("warmup", 3000, "warm-up cycles before measurement")
+	measure := flag.Int("measure", 12000, "measured cycles")
+	ms := flag.Bool("ms", false, "use the linked Michael-Scott queue instead of the FAA ring")
+	flag.Parse()
+
+	topo, ok := experiments.TopoByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "queuebench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	series := experiments.Fig6(topo, *warmup, *measure)
+	if *ms {
+		series = experiments.Fig6MS(topo, *warmup, *measure)
+	}
+
+	header := []string{"#cores"}
+	for _, s := range series {
+		header = append(header,
+			s.Spec.Name, s.Spec.Name+"-min", s.Spec.Name+"-max")
+	}
+	t := stats.NewTable(fmt.Sprintf(
+		"Fig. 6 — queue accesses/cycle vs #cores (%d-core system; min/max = per-core band)",
+		topo.NumCores()), header...)
+	for i := range series[0].Points {
+		row := []string{strconv.Itoa(series[0].Points[i].Cores)}
+		for _, s := range series {
+			p := s.Points[i]
+			row = append(row, stats.F(p.Throughput, 4),
+				stats.F(p.MinPerCore, 5), stats.F(p.MaxPerCore, 5))
+		}
+		t.Add(row...)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,94 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	cases := []struct {
+		got, want float64
+		name      string
+	}{
+		{Default().Tile(), 691, "tile"},
+		{Default().TileWithWaitQueue(1), 790, "lrscwait1"},
+		{Default().TileWithWaitQueue(8), 865, "lrscwait8"},
+		{Default().TileWithColibri(1), 732, "colibri-1"},
+		{Default().TileWithColibri(2), 750, "colibri-2"},
+		{Default().TileWithColibri(4), 761, "colibri-4"},
+		{Default().TileWithColibri(8), 802, "colibri-8"},
+	}
+	for _, c := range cases {
+		if err := math.Abs(c.got-c.want) / c.want; err > 0.02 {
+			t.Errorf("%s: %.1f kGE vs paper %.1f (%.1f%% off)", c.name, c.got, c.want, err*100)
+		}
+	}
+}
+
+func TestWaitQueueAreaScalesLinearlyInSlots(t *testing.T) {
+	m := Default()
+	d1 := m.TileWithWaitQueue(2) - m.TileWithWaitQueue(1)
+	d2 := m.TileWithWaitQueue(9) - m.TileWithWaitQueue(8)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("per-slot increments differ: %f vs %f", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Error("adding a slot does not add area")
+	}
+}
+
+func TestIdealQueueQuadraticBlowup(t *testing.T) {
+	// The ideal queue's slot count scales with cores, and banks scale with
+	// cores too: total system overhead grows quadratically. At tile level
+	// this shows as area ~ cores.
+	m := Default()
+	a64 := m.TileWithWaitQueue(64) - m.Tile()
+	a256 := m.TileWithWaitQueue(256) - m.Tile()
+	ratio := a256 / a64
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("overhead ratio 256/64 slots = %.2f, want ~4", ratio)
+	}
+}
+
+func TestColibriBeatsIdealQueueEverywhere(t *testing.T) {
+	prop := func(addr8 uint8) bool {
+		addrs := int(addr8%8) + 1
+		m := Default()
+		// Colibri with any published address count stays under the
+		// equivalent-guarantee ideal queue.
+		return m.TileWithColibri(addrs) < m.TileWithWaitQueue(256)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadPercent(t *testing.T) {
+	m := Default()
+	if got := m.Overhead(m.Tile()); got != 0 {
+		t.Errorf("overhead of the base tile = %f, want 0", got)
+	}
+	if got := m.Overhead(2 * m.Tile()); math.Abs(got-100) > 1e-9 {
+		t.Errorf("overhead of 2x tile = %f, want 100", got)
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI(Default(), 256)
+	if len(rows) != 8 {
+		t.Fatalf("TableI rows = %d, want 8", len(rows))
+	}
+	withPaper := 0
+	for _, r := range rows {
+		if r.AreaKGE <= 0 {
+			t.Errorf("%s %s: non-positive area", r.Design, r.Params)
+		}
+		if r.PaperKGE > 0 {
+			withPaper++
+		}
+	}
+	if withPaper != 7 {
+		t.Errorf("rows with paper reference = %d, want 7", withPaper)
+	}
+}

@@ -1,0 +1,222 @@
+package colibri
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+)
+
+// ReqSink is where a Qnode injects requests (the core's egress port into
+// the request network). TryPush reports false on backpressure.
+type ReqSink interface {
+	TryPush(r bus.Request) bool
+}
+
+// nodeState is the Qnode's episode lifecycle for the wait operations.
+type nodeState uint8
+
+const (
+	nodeIdle nodeState = iota
+	// nodeWaitGrant: LRwait/Mwait issued, response not yet received.
+	nodeWaitGrant
+	// nodeGranted: LRwait answered; the core computes and will SCwait.
+	nodeGranted
+	// nodeWaitSC: SCwait issued, response not yet received.
+	nodeWaitSC
+)
+
+// QnodeStats counts core-side protocol events.
+type QnodeStats struct {
+	SuccUpdates uint64 // SuccessorUpdates absorbed
+	WakeUpsSent uint64 // WakeUpRequests injected
+	Bounces     uint64 // SuccessorUpdates that bounced straight back
+}
+
+// Qnode is a core's hardware queue node: the core-side half of Colibri.
+// All of the core's memory traffic passes through it. It records the
+// in-flight wait operation, absorbs SuccessorUpdates (even while the core
+// sleeps), and emits WakeUpRequests when the core's SCwait passes by (or,
+// for Mwait, when the grant passes by — waking the whole queue without
+// core involvement, Section IV-B).
+//
+// The Qnode also acts as the protocol monitor: sequences that violate the
+// single-outstanding-LRwait rule or the pairing constraints panic rather
+// than corrupting the distributed queue.
+type Qnode struct {
+	coreID int
+	out    ReqSink
+
+	state       nodeState
+	pendingOp   bus.Op
+	pendingAddr uint32
+	// scPassed: the SCwait went by before the successor was known; an
+	// arriving SuccessorUpdate must bounce back as a WakeUpRequest.
+	scPassed bool
+	scAddr   uint32
+
+	// Successor link (valid when succ >= 0).
+	succ     int
+	succOp   bus.Op
+	succData uint32
+	succAddr uint32
+
+	// wakePending holds a WakeUpRequest that could not be injected due to
+	// backpressure; it drains with priority over new core requests.
+	wakePending *bus.Request
+
+	Stats QnodeStats
+}
+
+// NewQnode returns the Qnode for core coreID injecting into out.
+func NewQnode(coreID int, out ReqSink) *Qnode {
+	return &Qnode{coreID: coreID, out: out, succ: -1}
+}
+
+// Busy reports whether the Qnode must drain protocol traffic before the
+// core may inject a new request.
+func (n *Qnode) Busy() bool { return n.wakePending != nil }
+
+// Tick drains a pending WakeUpRequest if the network accepts it.
+func (n *Qnode) Tick() {
+	if n.wakePending != nil && n.out.TryPush(*n.wakePending) {
+		n.wakePending = nil
+		n.Stats.WakeUpsSent++
+	}
+}
+
+func (n *Qnode) sendWakeUp(addr uint32) {
+	if n.succ < 0 {
+		panic(fmt.Sprintf("colibri: qnode %d wake-up without successor", n.coreID))
+	}
+	req := bus.Request{Op: bus.WakeUpReq, Addr: addr, Src: n.coreID,
+		Succ: n.succ, SuccOp: n.succOp, SuccData: n.succData}
+	n.succ = -1
+	if n.wakePending != nil {
+		panic(fmt.Sprintf("colibri: qnode %d double wake-up", n.coreID))
+	}
+	if n.out.TryPush(req) {
+		n.Stats.WakeUpsSent++
+		return
+	}
+	n.wakePending = &req
+}
+
+// TryIssue injects a core request into the network, updating episode
+// bookkeeping. It reports false when the port is backpressured (the core
+// retries next cycle). For SCwait, a known successor's WakeUpRequest is
+// queued immediately behind it on the same ordered channel.
+func (n *Qnode) TryIssue(req bus.Request) bool {
+	if n.wakePending != nil {
+		return false // drain protocol traffic first; preserves ordering
+	}
+	switch req.Op {
+	case bus.LRWait, bus.MWait:
+		if n.state != nodeIdle {
+			panic(fmt.Sprintf("colibri: qnode %d: second outstanding %v (state %d)",
+				n.coreID, req.Op, n.state))
+		}
+		if !n.out.TryPush(req) {
+			return false
+		}
+		n.state = nodeWaitGrant
+		n.pendingOp = req.Op
+		n.pendingAddr = req.Addr
+		return true
+	case bus.SCWait:
+		if n.state != nodeGranted {
+			panic(fmt.Sprintf("colibri: qnode %d: SCwait without granted LRwait (state %d)",
+				n.coreID, n.state))
+		}
+		if req.Addr != n.pendingAddr {
+			panic(fmt.Sprintf("colibri: qnode %d: SCwait addr %#x != LRwait addr %#x",
+				n.coreID, req.Addr, n.pendingAddr))
+		}
+		if !n.out.TryPush(req) {
+			return false
+		}
+		n.state = nodeWaitSC
+		if n.succ >= 0 {
+			// Successor already linked: the WakeUpRequest follows the
+			// SCwait on the same channel, so the controller sees them
+			// in order (Fig. 2 steps 5–6).
+			n.sendWakeUp(req.Addr)
+		} else {
+			n.scPassed = true
+			n.scAddr = req.Addr
+		}
+		return true
+	default:
+		return n.out.TryPush(req)
+	}
+}
+
+// Deliver processes a message arriving from the response network. It
+// returns the response to hand to the core, or nil when the message was
+// protocol-internal (a SuccessorUpdate).
+func (n *Qnode) Deliver(resp bus.Response) *bus.Response {
+	if resp.Kind == bus.RespSuccUpdate {
+		n.Stats.SuccUpdates++
+		if n.succ >= 0 {
+			panic(fmt.Sprintf("colibri: qnode %d: second SuccessorUpdate", n.coreID))
+		}
+		if n.state == nodeIdle {
+			panic(fmt.Sprintf("colibri: qnode %d: SuccessorUpdate while idle", n.coreID))
+		}
+		n.succ = resp.Succ
+		n.succOp = resp.SuccOp
+		n.succData = resp.SuccData
+		n.succAddr = resp.Addr
+		if n.scPassed {
+			// The SCwait already went by: bounce immediately.
+			n.scPassed = false
+			n.Stats.Bounces++
+			n.sendWakeUp(resp.Addr)
+		}
+		return nil
+	}
+	switch resp.Op {
+	case bus.LRWait:
+		if n.state != nodeWaitGrant {
+			panic(fmt.Sprintf("colibri: qnode %d: LRwait response in state %d",
+				n.coreID, n.state))
+		}
+		// A refused LRwait (OK=false) follows the same path: the core
+		// proceeds to its SCwait, which will fail, and retries.
+		n.state = nodeGranted
+	case bus.MWait:
+		if n.state != nodeWaitGrant {
+			panic(fmt.Sprintf("colibri: qnode %d: Mwait response in state %d",
+				n.coreID, n.state))
+		}
+		// Wake cascade: pass the wake-up along without core involvement.
+		if n.succ >= 0 {
+			n.sendWakeUp(resp.Addr)
+		}
+		n.state = nodeIdle
+		n.pendingOp = bus.Nop
+	case bus.SCWait:
+		if n.state != nodeWaitSC {
+			panic(fmt.Sprintf("colibri: qnode %d: SCwait response in state %d",
+				n.coreID, n.state))
+		}
+		// Ordering guarantees any SuccessorUpdate for this episode
+		// arrived before this response; a still-set scPassed just means
+		// the head was alone (the controller freed the queue).
+		n.scPassed = false
+		n.state = nodeIdle
+		n.pendingOp = bus.Nop
+	}
+	return &resp
+}
+
+// State returns a debug description (tests and tracing).
+func (n *Qnode) State() string {
+	states := [...]string{"idle", "wait-grant", "granted", "wait-sc"}
+	return fmt.Sprintf("qnode%d{%s succ=%d scPassed=%v wakePending=%v}",
+		n.coreID, states[n.state], n.succ, n.scPassed, n.wakePending != nil)
+}
+
+// Idle reports whether the Qnode holds no episode state (quiescence checks).
+func (n *Qnode) Idle() bool {
+	return n.state == nodeIdle && n.succ < 0 && !n.scPassed && n.wakePending == nil
+}

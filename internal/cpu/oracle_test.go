@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+)
+
+// Property tests comparing the interpreter's ALU against Go-computed
+// oracles over random operands.
+
+// evalALU runs a single reg-reg ALU instruction with the given operands
+// and returns rd.
+func evalALU(t *testing.T, op isa.Opcode, a, b uint32) uint32 {
+	t.Helper()
+	bld2 := isa.NewBuilder()
+	bld2.Li(isa.A0, int32(a))
+	bld2.Li(isa.A1, int32(b))
+	switch op {
+	case isa.ADD:
+		bld2.Add(isa.A2, isa.A0, isa.A1)
+	case isa.SUB:
+		bld2.Sub(isa.A2, isa.A0, isa.A1)
+	case isa.AND:
+		bld2.And(isa.A2, isa.A0, isa.A1)
+	case isa.OR:
+		bld2.Or(isa.A2, isa.A0, isa.A1)
+	case isa.XOR:
+		bld2.Xor(isa.A2, isa.A0, isa.A1)
+	case isa.SLL:
+		bld2.Sll(isa.A2, isa.A0, isa.A1)
+	case isa.SRL:
+		bld2.Srl(isa.A2, isa.A0, isa.A1)
+	case isa.SRA:
+		bld2.Sra(isa.A2, isa.A0, isa.A1)
+	case isa.SLT:
+		bld2.Slt(isa.A2, isa.A0, isa.A1)
+	case isa.SLTU:
+		bld2.Sltu(isa.A2, isa.A0, isa.A1)
+	case isa.MUL:
+		bld2.Mul(isa.A2, isa.A0, isa.A1)
+	default:
+		t.Fatalf("unsupported op %v", op)
+	}
+	bld2.Halt()
+	var clk engine.Clock
+	c := New(0, 1, &clk, newLoopMem(&clk), bld2.MustBuild())
+	for i := 0; i < 10 && !c.Halted(); i++ {
+		c.Tick()
+		clk.Advance()
+	}
+	if !c.Halted() {
+		t.Fatal("ALU program did not halt")
+	}
+	return c.Reg(isa.A2)
+}
+
+func TestALUOracle(t *testing.T) {
+	oracles := map[isa.Opcode]func(a, b uint32) uint32{
+		isa.ADD: func(a, b uint32) uint32 { return a + b },
+		isa.SUB: func(a, b uint32) uint32 { return a - b },
+		isa.AND: func(a, b uint32) uint32 { return a & b },
+		isa.OR:  func(a, b uint32) uint32 { return a | b },
+		isa.XOR: func(a, b uint32) uint32 { return a ^ b },
+		isa.SLL: func(a, b uint32) uint32 { return a << (b & 31) },
+		isa.SRL: func(a, b uint32) uint32 { return a >> (b & 31) },
+		isa.SRA: func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) },
+		isa.SLT: func(a, b uint32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		},
+		isa.SLTU: func(a, b uint32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		},
+		isa.MUL: func(a, b uint32) uint32 { return a * b },
+	}
+	for op, oracle := range oracles {
+		op, oracle := op, oracle
+		prop := func(a, b uint32) bool {
+			return evalALU(t, op, a, b) == oracle(a, b)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+func TestImmediateOracle(t *testing.T) {
+	prop := func(a uint32, imm int16, sh uint8) bool {
+		b := isa.NewBuilder()
+		b.Li(isa.A0, int32(a))
+		b.Addi(isa.T0, isa.A0, int32(imm))
+		b.Andi(isa.T1, isa.A0, int32(imm))
+		b.Xori(isa.T2, isa.A0, int32(imm))
+		b.Slli(isa.T3, isa.A0, int32(sh%32))
+		b.Srai(isa.T4, isa.A0, int32(sh%32))
+		b.Halt()
+		var clk engine.Clock
+		c := New(0, 1, &clk, newLoopMem(&clk), b.MustBuild())
+		for i := 0; i < 10 && !c.Halted(); i++ {
+			c.Tick()
+			clk.Advance()
+		}
+		return c.Reg(isa.T0) == a+uint32(int32(imm)) &&
+			c.Reg(isa.T1) == a&uint32(int32(imm)) &&
+			c.Reg(isa.T2) == a^uint32(int32(imm)) &&
+			c.Reg(isa.T3) == a<<(sh%32) &&
+			c.Reg(isa.T4) == uint32(int32(a)>>(sh%32))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchOracle(t *testing.T) {
+	// For random operand pairs, each branch must agree with its Go
+	// predicate: the program stores 1 if it branched, 0 otherwise.
+	type branch struct {
+		emit func(b *isa.Builder)
+		pred func(a, c uint32) bool
+	}
+	branches := []branch{
+		{func(b *isa.Builder) { b.Beq(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return a == c }},
+		{func(b *isa.Builder) { b.Bne(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return a != c }},
+		{func(b *isa.Builder) { b.Blt(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return int32(a) < int32(c) }},
+		{func(b *isa.Builder) { b.Bge(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return int32(a) >= int32(c) }},
+		{func(b *isa.Builder) { b.Bltu(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return a < c }},
+		{func(b *isa.Builder) { b.Bgeu(isa.A0, isa.A1, "taken") },
+			func(a, c uint32) bool { return a >= c }},
+	}
+	for i, br := range branches {
+		br := br
+		prop := func(a, c uint32) bool {
+			b := isa.NewBuilder()
+			b.Li(isa.A0, int32(a))
+			b.Li(isa.A1, int32(c))
+			br.emit(b)
+			b.Li(isa.A2, 0)
+			b.Halt()
+			b.Label("taken")
+			b.Li(isa.A2, 1)
+			b.Halt()
+			var clk engine.Clock
+			core := New(0, 1, &clk, newLoopMem(&clk), b.MustBuild())
+			for j := 0; j < 10 && !core.Halted(); j++ {
+				core.Tick()
+				clk.Advance()
+			}
+			want := uint32(0)
+			if br.pred(a, c) {
+				want = 1
+			}
+			return core.Reg(isa.A2) == want
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("branch %d: %v", i, err)
+		}
+	}
+}

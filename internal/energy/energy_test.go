@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestEnergyComposition(t *testing.T) {
+	p := Params{PJPerBusy: 1, PJPerPause: 2, PJPerStall: 3, PJPerSleep: 4,
+		PJPerIdle: 5, PJPerFlit: 6, PJPerBank: 7}
+	a := platform.Activity{
+		BusyCycles: 10, PauseCycles: 10, MemWaitCycles: 5,
+		IssueStallCycles: 5, SleepCycles: 10, HaltedCycles: 10,
+		Flits: 10, BankAccesses: 10,
+	}
+	want := 10.0*1 + 10*2 + 10*3 + 10*4 + 10*5 + 10*6 + 10*7
+	if got := p.EnergyPJ(a); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EnergyPJ = %f, want %f", got, want)
+	}
+}
+
+func TestPerOpDivision(t *testing.T) {
+	p := Default()
+	a := platform.Activity{BusyCycles: 100, TotalOps: 10}
+	if got := p.PerOpPJ(a); math.Abs(got-10*p.PJPerBusy) > 1e-9 {
+		t.Errorf("PerOpPJ = %f", got)
+	}
+	if got := p.PerOpPJ(platform.Activity{}); got != 0 {
+		t.Errorf("PerOpPJ with zero ops = %f, want 0", got)
+	}
+}
+
+func TestPowerIncludesBackground(t *testing.T) {
+	p := Default()
+	// Zero dynamic activity: power is the background.
+	a := platform.Activity{Cycle: 100}
+	if got := p.PowerMW(a, 600); math.Abs(got-p.BackgroundMW) > 1e-9 {
+		t.Errorf("idle power = %f, want %f", got, p.BackgroundMW)
+	}
+	if got := p.PowerMW(platform.Activity{}, 600); got != 0 {
+		t.Errorf("zero-cycle power = %f, want 0", got)
+	}
+	// Dynamic activity adds on top.
+	a.BusyCycles = 100
+	if got := p.PowerMW(a, 600); got <= p.BackgroundMW {
+		t.Error("busy cycles did not raise power")
+	}
+}
+
+func TestEnergyMonotoneInActivity(t *testing.T) {
+	p := Default()
+	prop := func(busy, flits uint16) bool {
+		a := platform.Activity{BusyCycles: uint64(busy), Flits: uint64(flits)}
+		b := a
+		b.BusyCycles++
+		b.Flits++
+		return p.EnergyPJ(b) > p.EnergyPJ(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepCheaperThanBusy(t *testing.T) {
+	p := Default()
+	if p.PJPerSleep >= p.PJPerBusy {
+		t.Errorf("sleep (%f) not cheaper than busy (%f)", p.PJPerSleep, p.PJPerBusy)
+	}
+}

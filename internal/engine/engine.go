@@ -1,0 +1,22 @@
+// Package engine provides the simulation kernel shared by all hardware
+// models: the cycle clock, a deterministic PRNG, and timestamped FIFOs that
+// enforce one-cycle-per-hop pipelining independent of component tick order.
+package engine
+
+// Cycle is a simulation timestamp in clock cycles.
+type Cycle int64
+
+// Clock is the global cycle counter of a simulation. Components share a
+// pointer to it and read Now each tick.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Advance moves the clock forward by one cycle.
+func (c *Clock) Advance() { c.now++ }
+
+// Reset rewinds the clock to cycle 0.
+func (c *Clock) Reset() { c.now = 0 }

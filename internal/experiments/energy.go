@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/energy"
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/platform"
+)
+
+// Table II: energy per atomic operation at the highest contention level
+// (histogram with a single bin), plus average power at 600 MHz.
+
+// EnergyRow is one Table II line.
+type EnergyRow struct {
+	Name     string
+	Backoff  int
+	PowerMW  float64
+	PJPerOp  float64
+	DeltaPct float64 // vs the Colibri row, as the paper reports
+	PaperPJ  float64 // published value for EXPERIMENTS.md comparison
+}
+
+// TableIISpecs returns the four rows of Table II.
+func TableIISpecs() []HistSpec {
+	return []HistSpec{
+		{Name: "amoadd", Variant: kernels.HistAmoAdd, Policy: platform.PolicyPlain},
+		{Name: "colibri", Variant: kernels.HistLRSCWait, Policy: platform.PolicyColibri},
+		{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle},
+		{Name: "amoadd-lock", Variant: kernels.HistLockTicket, Policy: platform.PolicyLRSCSingle},
+	}
+}
+
+var tableIIPaper = map[string]struct {
+	backoff int
+	pj      float64
+}{
+	"amoadd":      {0, 29},
+	"colibri":     {0, 124},
+	"lrsc":        {128, 884},
+	"amoadd-lock": {128, 1092},
+}
+
+// TableII measures energy per operation for the four designs at bins=1.
+func TableII(topo noc.Topology, params energy.Params, warmup, measure int) []EnergyRow {
+	const freqMHz = 600
+	rows := make([]EnergyRow, 0, 4)
+	var colibriPJ float64
+	for _, spec := range TableIISpecs() {
+		p := RunHistogramPoint(spec, topo, 1, warmup, measure)
+		ref := tableIIPaper[spec.Name]
+		row := EnergyRow{
+			Name:    spec.Name,
+			Backoff: ref.backoff,
+			PowerMW: params.PowerMW(p.Activity, freqMHz),
+			PJPerOp: params.PerOpPJ(p.Activity),
+			PaperPJ: ref.pj,
+		}
+		if spec.Name == "colibri" {
+			colibriPJ = row.PJPerOp
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if colibriPJ > 0 {
+			rows[i].DeltaPct = (rows[i].PJPerOp/colibriPJ - 1) * 100
+		}
+	}
+	return rows
+}

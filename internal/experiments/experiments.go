@@ -1,0 +1,160 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V). Each experiment is parameterized by topology so
+// the same code runs the paper-scale 256-core sweeps (cmd tools) and
+// reduced configurations (unit tests, testing.B benchmarks).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/platform"
+)
+
+// DefaultBackoff is the paper's retry/spin backoff of 128 cycles.
+const DefaultBackoff = 128
+
+// HistSpec pairs a histogram software variant with a hardware policy —
+// one curve of Fig. 3 or Fig. 4.
+type HistSpec struct {
+	Name          string
+	Variant       kernels.HistVariant
+	Policy        platform.PolicyKind
+	QueueCap      int // WaitQueue slots (0 = ideal)
+	ColibriQueues int // head/tail pairs (0 = default 4)
+	// Backoff in cycles: 0 selects the paper's default of 128; a
+	// negative value selects no backoff (used to provoke saturation at
+	// reduced scale).
+	Backoff int32
+}
+
+// resolveBackoff maps the spec's Backoff field to cycles.
+func resolveBackoff(spec HistSpec) int32 {
+	switch {
+	case spec.Backoff < 0:
+		return 0
+	case spec.Backoff == 0:
+		return DefaultBackoff
+	default:
+		return spec.Backoff
+	}
+}
+
+// Fig3Specs returns the curves of Fig. 3 for a system with nCores cores:
+// the AMO roofline, LRSCwait ideal / half-capacity / single-slot, Colibri,
+// and the LRSC baseline. The paper's "LRSCwait128" on 256 cores is the
+// half-capacity point, so the spec scales as nCores/2.
+func Fig3Specs(nCores int) []HistSpec {
+	return []HistSpec{
+		{Name: "amoadd", Variant: kernels.HistAmoAdd, Policy: platform.PolicyPlain},
+		{Name: "lrscwait-ideal", Variant: kernels.HistLRSCWait, Policy: platform.PolicyWaitQueue},
+		{Name: fmt.Sprintf("lrscwait-%d", nCores/2), Variant: kernels.HistLRSCWait,
+			Policy: platform.PolicyWaitQueue, QueueCap: nCores / 2},
+		{Name: "lrscwait-1", Variant: kernels.HistLRSCWait,
+			Policy: platform.PolicyWaitQueue, QueueCap: 1},
+		{Name: "colibri", Variant: kernels.HistLRSCWait, Policy: platform.PolicyColibri},
+		{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle},
+	}
+}
+
+// Fig4Specs returns the curves of Fig. 4: raw Colibri against the lock
+// implementations (spin locks with 128-cycle backoff, plus the Mwait MCS
+// lock) and raw LRSC.
+func Fig4Specs() []HistSpec {
+	return []HistSpec{
+		{Name: "colibri", Variant: kernels.HistLRSCWait, Policy: platform.PolicyColibri},
+		{Name: "colibri-lock", Variant: kernels.HistLockLRSCWait, Policy: platform.PolicyColibri},
+		{Name: "mwait-lock", Variant: kernels.HistLockMCSMwait, Policy: platform.PolicyColibri},
+		{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle},
+		{Name: "lrsc-lock", Variant: kernels.HistLockLRSC, Policy: platform.PolicyLRSCSingle},
+		{Name: "amoadd-lock", Variant: kernels.HistLockTicket, Policy: platform.PolicyLRSCSingle},
+	}
+}
+
+// HistPoint is one measurement: updates/cycle at a contention level.
+type HistPoint struct {
+	Bins       int
+	Throughput float64
+	Activity   platform.Activity
+}
+
+// HistSeries is one curve.
+type HistSeries struct {
+	Spec   HistSpec
+	Points []HistPoint
+}
+
+// buildHistogram constructs a system running the endless histogram.
+func buildHistogram(spec HistSpec, topo noc.Topology, bins int, iters int) (*platform.System, kernels.HistLayout) {
+	cfg := platform.Config{
+		Topo:          topo,
+		Policy:        spec.Policy,
+		QueueCap:      spec.QueueCap,
+		ColibriQueues: spec.ColibriQueues,
+	}
+	l := platform.NewLayout(0)
+	lay := kernels.NewHistLayout(l, bins, topo.NumCores())
+	prog := kernels.HistogramProgram(spec.Variant, lay, resolveBackoff(spec), iters)
+	sys := platform.New(cfg, platform.SameProgram(prog))
+	return sys, lay
+}
+
+// RunHistogramPoint measures one (spec, bins) point.
+func RunHistogramPoint(spec HistSpec, topo noc.Topology, bins, warmup, measure int) HistPoint {
+	sys, _ := buildHistogram(spec, topo, bins, 0)
+	act := sys.Measure(warmup, measure)
+	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
+}
+
+// RunHistogramSweep measures a full curve across bin counts.
+func RunHistogramSweep(spec HistSpec, topo noc.Topology, bins []int, warmup, measure int) HistSeries {
+	s := HistSeries{Spec: spec}
+	for _, nb := range bins {
+		s.Points = append(s.Points, RunHistogramPoint(spec, topo, nb, warmup, measure))
+	}
+	return s
+}
+
+// Fig3 runs the throughput-vs-contention sweep for all Fig. 3 curves.
+func Fig3(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
+	var out []HistSeries
+	for _, spec := range Fig3Specs(topo.NumCores()) {
+		out = append(out, RunHistogramSweep(spec, topo, bins, warmup, measure))
+	}
+	return out
+}
+
+// Fig4 runs the lock-comparison sweep for all Fig. 4 curves.
+func Fig4(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
+	var out []HistSeries
+	for _, spec := range Fig4Specs() {
+		out = append(out, RunHistogramSweep(spec, topo, bins, warmup, measure))
+	}
+	return out
+}
+
+// TopoByName maps a scale name to a topology: "mempool" (256 cores, the
+// paper's platform), "medium" (64) or "small" (16). Unknown names return
+// ok=false.
+func TopoByName(name string) (noc.Topology, bool) {
+	switch name {
+	case "mempool", "256":
+		return noc.MemPool256(), true
+	case "medium", "64":
+		return noc.Medium(), true
+	case "small", "16":
+		return noc.Small(), true
+	}
+	return noc.Topology{}, false
+}
+
+// StandardBins returns the paper's bin sweep 1..1024 clipped to the
+// number of banks of the topology (bins live in distinct words).
+func StandardBins(topo noc.Topology) []int {
+	var bins []int
+	for b := 1; b <= 1024 && b <= topo.NumBanks(); b *= 2 {
+		bins = append(bins, b)
+	}
+	return bins
+}

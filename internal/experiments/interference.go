@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/platform"
+)
+
+// Fig. 5: matrix-multiplication workers sharing the machine with cores
+// hammering histogram bins. The histogram bins occupy the first words of
+// memory — consecutive banks of tile 0 — so retry/polling traffic funnels
+// into one tile and, through head-of-line blocking in the bounded-FIFO
+// fabric, saturates paths that the workers' matrix traffic also needs.
+// Colibri's sleeping waiters inject (almost) nothing, leaving workers
+// unaffected.
+
+// InterferenceRatio is a poller:worker core split.
+type InterferenceRatio struct {
+	Pollers, Workers int
+}
+
+// PaperRatios returns the splits annotated in Fig. 5, scaled to nCores
+// (for 256 cores: 128:128, 192:64, 248:8, 252:4).
+func PaperRatios(nCores int) []InterferenceRatio {
+	return []InterferenceRatio{
+		{nCores / 2, nCores / 2},
+		{nCores * 3 / 4, nCores / 4},
+		{nCores - nCores/32, nCores / 32},
+		{nCores - nCores/64, nCores / 64},
+	}
+}
+
+// InterferencePoint is one Fig. 5 measurement.
+type InterferencePoint struct {
+	Bins int
+	// Rel is worker throughput relative to an interference-free run.
+	Rel float64
+	// BaselineOps and LoadedOps are worker marks/cycle without and with
+	// pollers.
+	BaselineOps, LoadedOps float64
+}
+
+// InterferenceSeries is one Fig. 5 curve.
+type InterferenceSeries struct {
+	Name   string
+	Spec   HistSpec
+	Ratio  InterferenceRatio
+	Points []InterferencePoint
+}
+
+func haltedProgram() *isa.Program {
+	b := isa.NewBuilder()
+	b.Halt()
+	return b.MustBuild()
+}
+
+// interferenceSystem builds a system where the first ratio.Pollers cores
+// run the histogram spec (or halt, when loaded is false) and the last
+// ratio.Workers cores run the endless matmul.
+func interferenceSystem(spec HistSpec, topo noc.Topology, ratio InterferenceRatio,
+	bins, matN int, loaded bool) (*platform.System, []int) {
+	nCores := topo.NumCores()
+	if ratio.Pollers+ratio.Workers > nCores {
+		panic("experiments: ratio exceeds core count")
+	}
+	cfg := platform.Config{
+		Topo:          topo,
+		Policy:        spec.Policy,
+		QueueCap:      spec.QueueCap,
+		ColibriQueues: spec.ColibriQueues,
+	}
+	backoff := resolveBackoff(spec)
+	l := platform.NewLayout(0)
+	histLay := kernels.NewHistLayout(l, bins, nCores)
+	matLay := kernels.NewMatmulLayout(l, matN)
+
+	pollerProg := kernels.HistogramProgram(spec.Variant, histLay, backoff, 0)
+	idle := haltedProgram()
+	workerStart := nCores - ratio.Workers
+	var workers []int
+	progFor := func(core int) *isa.Program {
+		if core >= workerStart {
+			return kernels.MatmulProgram(matLay, core-workerStart, ratio.Workers, true)
+		}
+		if loaded && core < ratio.Pollers {
+			return pollerProg
+		}
+		return idle
+	}
+	for c := workerStart; c < nCores; c++ {
+		workers = append(workers, c)
+	}
+	sys := platform.New(cfg, progFor)
+	kernels.InitMatmul(sys, matLay)
+	return sys, workers
+}
+
+func workerThroughput(act platform.Activity, workers []int) float64 {
+	var ops uint64
+	for _, w := range workers {
+		ops += act.OpsPerCore[w]
+	}
+	if act.Cycle == 0 {
+		return 0
+	}
+	return float64(ops) / float64(act.Cycle)
+}
+
+// RunInterferencePoint measures worker slowdown for one (spec, ratio,
+// bins) combination. matN is the matrix dimension (must be >= the worker
+// count so every worker owns at least one row).
+func RunInterferencePoint(spec HistSpec, topo noc.Topology, ratio InterferenceRatio,
+	bins, matN, warmup, measure int) InterferencePoint {
+	if matN < ratio.Workers {
+		matN = ratio.Workers
+	}
+	base, workers := interferenceSystem(spec, topo, ratio, bins, matN, false)
+	baseline := workerThroughput(base.Measure(warmup, measure), workers)
+
+	loadedSys, workers := interferenceSystem(spec, topo, ratio, bins, matN, true)
+	loadedTP := workerThroughput(loadedSys.Measure(warmup, measure), workers)
+
+	rel := 0.0
+	if baseline > 0 {
+		rel = loadedTP / baseline
+	}
+	return InterferencePoint{Bins: bins, Rel: rel, BaselineOps: baseline, LoadedOps: loadedTP}
+}
+
+// Fig5 reproduces the full interference figure: the Colibri curve at the
+// most extreme ratio plus LRSC at every ratio, swept over bin counts.
+func Fig5(topo noc.Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
+	nCores := topo.NumCores()
+	ratios := PaperRatios(nCores)
+	colibri := HistSpec{Name: "colibri", Variant: kernels.HistLRSCWait, Policy: platform.PolicyColibri}
+	lrsc := HistSpec{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle}
+
+	var out []InterferenceSeries
+	run := func(spec HistSpec, ratio InterferenceRatio) {
+		s := InterferenceSeries{
+			Name:  ratioName(spec.Name, ratio),
+			Spec:  spec,
+			Ratio: ratio,
+		}
+		for _, nb := range bins {
+			s.Points = append(s.Points,
+				RunInterferencePoint(spec, topo, ratio, nb, matN, warmup, measure))
+		}
+		out = append(out, s)
+	}
+	run(colibri, ratios[len(ratios)-1]) // Colibri at the harshest split
+	for _, r := range ratios {
+		run(lrsc, r)
+	}
+	return out
+}
+
+func ratioName(base string, r InterferenceRatio) string {
+	return base + " " + itoa(r.Pollers) + ":" + itoa(r.Workers)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/platform"
+)
+
+// Fig. 6: concurrent-queue throughput and fairness as the number of
+// participating cores grows.
+
+// QueueSpec pairs a queue software variant with a hardware policy. MS
+// selects the linked Michael–Scott queue (the paper's data structure)
+// instead of the fetch-and-add ring; the Variant then only distinguishes
+// the LRSC and LRSCwait CAS flavours.
+type QueueSpec struct {
+	Name    string
+	Variant kernels.QueueVariant
+	Policy  platform.PolicyKind
+	MS      bool
+}
+
+// Fig6Specs returns the three curves of Fig. 6 on the fetch-and-add ring.
+func Fig6Specs() []QueueSpec {
+	return []QueueSpec{
+		{Name: "colibri", Variant: kernels.QueueLRSCWait, Policy: platform.PolicyColibri},
+		{Name: "amoadd-lock", Variant: kernels.QueueLockTicket, Policy: platform.PolicyLRSCSingle},
+		{Name: "lrsc", Variant: kernels.QueueLRSC, Policy: platform.PolicyLRSCSingle},
+	}
+}
+
+// Fig6MSSpecs returns the Fig. 6 curves on the linked Michael–Scott
+// queue (no lock-based variant: the paper's lock queue uses atomic adds,
+// which the ring version covers).
+func Fig6MSSpecs() []QueueSpec {
+	return []QueueSpec{
+		{Name: "colibri-ms", Variant: kernels.QueueLRSCWait, Policy: platform.PolicyColibri, MS: true},
+		{Name: "amoadd-lock", Variant: kernels.QueueLockTicket, Policy: platform.PolicyLRSCSingle},
+		{Name: "lrsc-ms", Variant: kernels.QueueLRSC, Policy: platform.PolicyLRSCSingle, MS: true},
+	}
+}
+
+// QueuePoint is one Fig. 6 measurement, with the fairness band (slowest /
+// fastest active core, in ops per cycle) that the paper shades.
+type QueuePoint struct {
+	Cores      int
+	Throughput float64
+	MinPerCore float64
+	MaxPerCore float64
+}
+
+// QueueSeries is one Fig. 6 curve.
+type QueueSeries struct {
+	Spec   QueueSpec
+	Points []QueuePoint
+}
+
+// RunQueuePoint measures queue accesses/cycle with nActive cores working.
+func RunQueuePoint(spec QueueSpec, topo noc.Topology, nActive, warmup, measure int) QueuePoint {
+	nCores := topo.NumCores()
+	if nActive > nCores {
+		nActive = nCores
+	}
+	cfg := platform.Config{Topo: topo, Policy: spec.Policy}
+	l := platform.NewLayout(0)
+	idle := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.Halt()
+		return b.MustBuild()
+	}()
+	var queueProg platform.ProgramFor
+	var initQueue func(*platform.System)
+	if spec.MS {
+		lay := kernels.NewMSLayout(l, nCores, 4)
+		queueProg = kernels.MSQueueProgram(spec.Variant == kernels.QueueLRSCWait,
+			lay, DefaultBackoff, 0)
+		initQueue = func(sys *platform.System) { kernels.InitMSQueue(sys, lay) }
+	} else {
+		lay := kernels.NewQueueLayout(l, nCores, 2*nActive)
+		queueProg = kernels.QueueProgram(spec.Variant, lay, DefaultBackoff, 0)
+		initQueue = func(sys *platform.System) { kernels.InitQueue(sys, lay) }
+	}
+	sys := platform.New(cfg, func(core int) *isa.Program {
+		if core < nActive {
+			return queueProg(core)
+		}
+		return idle
+	})
+	initQueue(sys)
+	act := sys.Measure(warmup, measure)
+
+	p := QueuePoint{Cores: nActive, Throughput: act.Throughput()}
+	min, max := act.OpsPerCore[0], act.OpsPerCore[0]
+	for _, v := range act.OpsPerCore[:nActive] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if act.Cycle > 0 {
+		p.MinPerCore = float64(min) / float64(act.Cycle)
+		p.MaxPerCore = float64(max) / float64(act.Cycle)
+	}
+	return p
+}
+
+// Fig6 sweeps active core counts (powers of two up to the core count)
+// on the ring queue.
+func Fig6(topo noc.Topology, warmup, measure int) []QueueSeries {
+	return fig6With(Fig6Specs(), topo, warmup, measure)
+}
+
+// Fig6MS sweeps the same core counts on the Michael–Scott queue.
+func Fig6MS(topo noc.Topology, warmup, measure int) []QueueSeries {
+	return fig6With(Fig6MSSpecs(), topo, warmup, measure)
+}
+
+func fig6With(specs []QueueSpec, topo noc.Topology, warmup, measure int) []QueueSeries {
+	var counts []int
+	for n := 1; n <= topo.NumCores(); n *= 2 {
+		counts = append(counts, n)
+	}
+	var out []QueueSeries
+	for _, spec := range specs {
+		s := QueueSeries{Spec: spec}
+		for _, n := range counts {
+			s.Points = append(s.Points, RunQueuePoint(spec, topo, n, warmup, measure))
+		}
+		out = append(out, s)
+	}
+	return out
+}

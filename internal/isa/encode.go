@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding. The model ISA uses a wide fixed 64-bit instruction word
+// so that full 32-bit immediates are lossless:
+//
+//	word0[7:0]   opcode
+//	word0[12:8]  rd
+//	word0[17:13] rs1
+//	word0[22:18] rs2
+//	word0[31:24] magic (0x5A) for stream validation
+//	word1[31:0]  imm
+//
+// This is deliberately not the RV32 bit layout — the repository models
+// behaviour, not binary compatibility — but it gives the toolchain a real
+// serialize/deserialize path (used by cmd tools to dump kernels and by the
+// round-trip property tests).
+
+const encMagic = 0x5A
+
+// InstrBytes is the size of one encoded instruction in bytes.
+const InstrBytes = 8
+
+// EncodeInstr serializes one instruction into an 8-byte little-endian word
+// pair.
+func EncodeInstr(i Instr) [InstrBytes]byte {
+	var out [InstrBytes]byte
+	w0 := uint32(i.Op) | uint32(i.Rd)<<8 | uint32(i.Rs1)<<13 |
+		uint32(i.Rs2)<<18 | uint32(encMagic)<<24
+	binary.LittleEndian.PutUint32(out[0:4], w0)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(i.Imm))
+	return out
+}
+
+// DecodeInstr deserializes one instruction.
+func DecodeInstr(b [InstrBytes]byte) (Instr, error) {
+	w0 := binary.LittleEndian.Uint32(b[0:4])
+	if w0>>24 != encMagic {
+		return Instr{}, fmt.Errorf("isa: bad instruction magic %#x", w0>>24)
+	}
+	op := Opcode(w0 & 0xff)
+	if op >= numOpcodes {
+		return Instr{}, fmt.Errorf("isa: unknown opcode %d", op)
+	}
+	return Instr{
+		Op:  op,
+		Rd:  Reg(w0 >> 8 & 0x1f),
+		Rs1: Reg(w0 >> 13 & 0x1f),
+		Rs2: Reg(w0 >> 18 & 0x1f),
+		Imm: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// Encode serializes a whole program (without its symbol table).
+func Encode(p *Program) []byte {
+	out := make([]byte, 0, len(p.Instrs)*InstrBytes)
+	for _, ins := range p.Instrs {
+		b := EncodeInstr(ins)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// Decode deserializes a program produced by Encode.
+func Decode(data []byte) (*Program, error) {
+	if len(data)%InstrBytes != 0 {
+		return nil, fmt.Errorf("isa: truncated program: %d bytes", len(data))
+	}
+	p := &Program{Symbols: map[string]int{}}
+	var word [InstrBytes]byte
+	for off := 0; off < len(data); off += InstrBytes {
+		copy(word[:], data[off:off+InstrBytes])
+		ins, err := DecodeInstr(word)
+		if err != nil {
+			return nil, fmt.Errorf("at offset %d: %w", off, err)
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	return p, nil
+}

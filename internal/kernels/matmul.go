@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/platform"
+)
+
+// MatmulLayout places the three N×N int32 matrices. With word
+// interleaving, any region of at least numBanks words touches every bank,
+// so the workers' traffic exercises the whole fabric — which is what makes
+// them sensitive to hot-spot tree saturation in the interference
+// experiment (Fig. 5).
+type MatmulLayout struct {
+	N       int
+	A, B, C uint32
+}
+
+// NewMatmulLayout allocates the matrices from l.
+func NewMatmulLayout(l *platform.Layout, n int) MatmulLayout {
+	if n <= 0 {
+		panic(fmt.Sprintf("kernels: matmul size %d", n))
+	}
+	return MatmulLayout{
+		N: n,
+		A: l.Words(n * n),
+		B: l.Words(n * n),
+		C: l.Words(n * n),
+	}
+}
+
+// InitMatmul fills A and B with small deterministic values and zeroes C.
+func InitMatmul(sys *platform.System, lay MatmulLayout) {
+	n := lay.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			off := uint32(4 * (i*n + j))
+			sys.WriteWord(lay.A+off, uint32((i+2*j)%7))
+			sys.WriteWord(lay.B+off, uint32((3*i+j)%5))
+			sys.WriteWord(lay.C+off, 0)
+		}
+	}
+}
+
+// MatmulRef computes the reference product on the host.
+func MatmulRef(lay MatmulLayout) [][]uint32 {
+	n := lay.N
+	a := func(i, j int) uint32 { return uint32((i + 2*j) % 7) }
+	bv := func(i, j int) uint32 { return uint32((3*i + j) % 5) }
+	c := make([][]uint32, n)
+	for i := range c {
+		c[i] = make([]uint32, n)
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += a(i, k) * bv(k, j)
+			}
+			c[i][j] = acc
+		}
+	}
+	return c
+}
+
+// MatmulProgram builds the worker kernel. The worker computes rows
+// rowOffset, rowOffset+rowStride, ... of C (a cyclic distribution across
+// workers). One MARK per element. endless repeats the whole assignment
+// forever; otherwise the core halts after one pass.
+//
+// Register plan:
+//
+//	a0 A  a1 B  a2 C  a3 N(bytes per row)  s0 i  s1 j  s2 k-counter
+//	s3 acc  s4 ptrA  s5 ptrB  s6 rowStride(bytes)  s7 N(elems)
+func MatmulProgram(lay MatmulLayout, rowOffset, rowStride int, endless bool) *isa.Program {
+	if rowOffset < 0 || rowStride <= 0 {
+		panic(fmt.Sprintf("kernels: matmul rows offset=%d stride=%d", rowOffset, rowStride))
+	}
+	n := lay.N
+	b := isa.NewBuilder()
+	b.Li(isa.A0, int32(lay.A))
+	b.Li(isa.A1, int32(lay.B))
+	b.Li(isa.A2, int32(lay.C))
+	b.Li(isa.A3, int32(4*n)) // row size in bytes
+	b.Li(isa.S6, int32(4*n*rowStride))
+	b.Li(isa.S7, int32(n))
+
+	b.Label("mm_restart")
+	// i-loop over assigned rows: s0 = byte offset of row i in A/C.
+	b.Li(isa.S0, int32(4*n*rowOffset))
+	b.Label("mm_row")
+	// j-loop: s1 = column index.
+	b.Li(isa.S1, 0)
+	b.Label("mm_col")
+	// acc = 0; ptrA = A + rowOff; ptrB = B + j*4; k counts down from N.
+	b.Li(isa.S3, 0)
+	b.Add(isa.S4, isa.A0, isa.S0)
+	b.Slli(isa.T0, isa.S1, 2)
+	b.Add(isa.S5, isa.A1, isa.T0)
+	b.Mv(isa.S2, isa.S7)
+	b.Label("mm_k")
+	b.Lw(isa.T1, isa.S4, 0)
+	b.Lw(isa.T2, isa.S5, 0)
+	b.Mul(isa.T1, isa.T1, isa.T2)
+	b.Add(isa.S3, isa.S3, isa.T1)
+	b.Addi(isa.S4, isa.S4, 4)
+	b.Add(isa.S5, isa.S5, isa.A3)
+	b.Addi(isa.S2, isa.S2, -1)
+	b.Bnez(isa.S2, "mm_k")
+	// C[i][j] = acc.
+	b.Add(isa.T0, isa.A2, isa.S0)
+	b.Slli(isa.T1, isa.S1, 2)
+	b.Add(isa.T0, isa.T0, isa.T1)
+	b.Sw(isa.S3, isa.T0, 0)
+	b.Mark()
+	// next column.
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Blt(isa.S1, isa.S7, "mm_col")
+	// next row: s0 += rowStride bytes; done when past N rows.
+	b.Add(isa.S0, isa.S0, isa.S6)
+	// bound: 4*n*n bytes.
+	b.Li(isa.T0, int32(4*n*n))
+	b.Blt(isa.S0, isa.T0, "mm_row")
+	if endless {
+		b.J("mm_restart")
+	} else {
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// CheckMatmul compares the simulated C against the host reference,
+// returning the first mismatch.
+func CheckMatmul(sys *platform.System, lay MatmulLayout) error {
+	ref := MatmulRef(lay)
+	n := lay.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := sys.ReadWord(lay.C + uint32(4*(i*n+j)))
+			if got != ref[i][j] {
+				return fmt.Errorf("C[%d][%d] = %d, want %d", i, j, got, ref[i][j])
+			}
+		}
+	}
+	return nil
+}

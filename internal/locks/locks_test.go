@@ -1,0 +1,181 @@
+package locks
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/platform"
+)
+
+// The macro library is tested by running small lock-stress kernels on a
+// real system: n cores each enter the critical section `iters` times and
+// increment an unprotected shared counter inside it. Mutual exclusion
+// holds iff the final counter equals n*iters.
+
+const (
+	lockAddr    = 0 // lock word(s) at 0 (and 4 for ticket's now-serving)
+	counterAddr = 12
+	mcsNodeBase = 64
+)
+
+// stressProgram wraps an acquire/release emitter pair into a test kernel.
+func stressProgram(iters int, emitAcquire, emitRelease func(b *isa.Builder)) *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.A0, lockAddr)
+	b.Li(isa.A1, counterAddr)
+	b.Li(isa.S4, 64) // backoff cap
+	EmitBackoffReset(b, isa.S9, isa.S4)
+	b.Li(isa.S5, int32(iters))
+	// MCS node address (unused by the other locks).
+	b.CoreID(isa.T0)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Li(isa.S6, mcsNodeBase)
+	b.Add(isa.S6, isa.S6, isa.T0)
+
+	b.Label("outer")
+	emitAcquire(b)
+	// Critical section: unprotected read-modify-write.
+	b.Lw(isa.T0, isa.A1, 0)
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Sw(isa.T0, isa.A1, 0)
+	emitRelease(b)
+	b.Mark()
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bnez(isa.S5, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func runLockStress(t *testing.T, policy platform.PolicyKind, iters int,
+	emitAcquire, emitRelease func(b *isa.Builder)) *platform.System {
+	t.Helper()
+	cfg := platform.SmallConfig(policy)
+	sys := platform.New(cfg, platform.SameProgram(stressProgram(iters, emitAcquire, emitRelease)))
+	if !sys.RunUntilHalted(20_000_000) {
+		for i, c := range sys.Cores {
+			if !c.Halted() {
+				t.Logf("core %d at pc %d", i, c.PC())
+			}
+		}
+		t.Fatal("lock stress did not finish (deadlock or livelock)")
+	}
+	n := cfg.Topo.NumCores()
+	if got := sys.ReadWord(counterAddr); got != uint32(n*iters) {
+		t.Errorf("counter = %d, want %d (mutual exclusion violated)", got, n*iters)
+	}
+	return sys
+}
+
+func TestTASAmoLock(t *testing.T) {
+	runLockStress(t, platform.PolicyPlain, 10,
+		func(b *isa.Builder) {
+			EmitTASAcquireAmo(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitRelease(b, isa.A0) })
+}
+
+func TestTASLRSCLock(t *testing.T) {
+	runLockStress(t, platform.PolicyLRSCSingle, 10,
+		func(b *isa.Builder) {
+			EmitTASAcquireLRSC(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitRelease(b, isa.A0) })
+}
+
+func TestTASLRSCWaitLock(t *testing.T) {
+	runLockStress(t, platform.PolicyColibri, 10,
+		func(b *isa.Builder) {
+			EmitTASAcquireLRSCWait(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitRelease(b, isa.A0) })
+}
+
+func TestTASLRSCWaitLockOnWaitQueue(t *testing.T) {
+	runLockStress(t, platform.PolicyWaitQueue, 10,
+		func(b *isa.Builder) {
+			EmitTASAcquireLRSCWait(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitRelease(b, isa.A0) })
+}
+
+func TestTicketLock(t *testing.T) {
+	sys := runLockStress(t, platform.PolicyPlain, 10,
+		func(b *isa.Builder) {
+			EmitTicketAcquire(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitTicketRelease(b, isa.A0, isa.T1, isa.T2) })
+	// Ticket state is consistent: next == serving == total acquisitions.
+	n := uint32(sys.Cfg.Topo.NumCores() * 10)
+	if next := sys.ReadWord(lockAddr); next != n {
+		t.Errorf("next-ticket = %d, want %d", next, n)
+	}
+	if serving := sys.ReadWord(lockAddr + 4); serving != n {
+		t.Errorf("now-serving = %d, want %d", serving, n)
+	}
+}
+
+func TestMCSMwaitLock(t *testing.T) {
+	sys := runLockStress(t, platform.PolicyColibri, 10,
+		func(b *isa.Builder) {
+			EmitMCSAcquire(b, "x", isa.A0, isa.S6, isa.T1, isa.T2, isa.T4)
+		},
+		func(b *isa.Builder) {
+			EmitMCSRelease(b, "xr", isa.A0, isa.S6, isa.T1, isa.T2, isa.T4)
+		})
+	// The MCS tail must be free at the end.
+	if tail := sys.ReadWord(lockAddr); tail != 0 {
+		t.Errorf("MCS tail = %#x after all releases, want 0", tail)
+	}
+	// Waiters must have slept (Mwait), not spun.
+	if sys.Snapshot().SleepCycles == 0 {
+		t.Error("MCS+Mwait lock recorded no sleep cycles")
+	}
+}
+
+// TestTicketLockFairness: ticket locks grant strictly in ticket order, so
+// per-core acquisition counts are exactly equal in a full run.
+func TestTicketLockFairness(t *testing.T) {
+	sys := runLockStress(t, platform.PolicyPlain, 8,
+		func(b *isa.Builder) {
+			EmitTicketAcquire(b, "x", isa.A0, isa.S9, isa.S4, isa.T1, isa.T2)
+		},
+		func(b *isa.Builder) { EmitTicketRelease(b, isa.A0, isa.T1, isa.T2) })
+	act := sys.Snapshot()
+	min, max := act.MinMaxOps()
+	if min != 8 || max != 8 {
+		t.Errorf("per-core acquisitions [%d,%d], want exactly 8", min, max)
+	}
+}
+
+func TestBackoffMacros(t *testing.T) {
+	// A standalone kernel exercising the backoff helpers: pause cycles
+	// must follow the doubling-then-clamp sequence 9,18,36,64,64.
+	b := isa.NewBuilder()
+	b.Li(isa.S4, 64)
+	EmitBackoffReset(b, isa.S9, isa.S4) // 64/4+1 = 17... see below
+	for i := 0; i < 5; i++ {
+		EmitExpBackoff(b, fmt("bo", i), isa.S9, isa.S4)
+	}
+	b.Halt()
+	cfg := platform.SmallConfig(platform.PolicyPlain)
+	prog := b.MustBuild()
+	sys := platform.New(cfg, func(core int) *isa.Program {
+		if core == 0 {
+			return prog
+		}
+		h := isa.NewBuilder()
+		h.Halt()
+		return h.MustBuild()
+	})
+	if !sys.RunUntilHalted(10000) {
+		t.Fatal("backoff kernel did not halt")
+	}
+	// Sequence: 17, 34, 64 (clamped from 68), 64, 64 = 243 pause cycles.
+	if got := sys.Cores[0].Stats.PauseCycles; got != 243 {
+		t.Errorf("pause cycles = %d, want 243", got)
+	}
+}
+
+func fmt(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}

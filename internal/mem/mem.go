@@ -1,0 +1,196 @@
+// Package mem models an SPM memory bank with a pluggable atomics adapter.
+//
+// A bank processes at most one request per cycle from its input FIFO and
+// emits responses through a one-per-cycle output port. All semantics beyond
+// plain word storage — AMOs, LR/SC reservations, the LRSCwait queues and
+// Colibri — live in the Adapter, mirroring the paper's "LRSCwait adapter
+// placed in front of each memory bank".
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/engine"
+)
+
+// Storage is the adapter's view of the bank's word array plus its identity.
+// Addresses are global byte addresses; the bank resolves interleaving.
+type Storage interface {
+	// Read returns the word at the (word-aligned) global byte address.
+	Read(addr uint32) uint32
+	// Write commits a word to the global byte address. Adapters must
+	// perform all reservation invalidation / monitor checks themselves
+	// before or after calling Write; the bank does not call back.
+	Write(addr uint32, v uint32)
+	// BankID identifies the bank (for tracing and assertions).
+	BankID() int
+}
+
+// Adapter implements the memory-side semantics of every operation. Handle
+// is invoked once per accepted request and returns the responses to emit
+// (possibly none — e.g. an LRwait that must wait, or several — e.g. a store
+// that fires an Mwait monitor).
+type Adapter interface {
+	Handle(req bus.Request, s Storage) []bus.Response
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// AmoALU applies an atomic read-modify-write operation and returns the new
+// value to store. It is shared by every adapter.
+func AmoALU(op bus.Op, old, operand uint32) uint32 {
+	switch op {
+	case bus.AmoAdd:
+		return old + operand
+	case bus.AmoSwap:
+		return operand
+	case bus.AmoAnd:
+		return old & operand
+	case bus.AmoOr:
+		return old | operand
+	case bus.AmoXor:
+		return old ^ operand
+	case bus.AmoMin:
+		if int32(operand) < int32(old) {
+			return operand
+		}
+		return old
+	case bus.AmoMax:
+		if int32(operand) > int32(old) {
+			return operand
+		}
+		return old
+	case bus.AmoMinU:
+		if operand < old {
+			return operand
+		}
+		return old
+	case bus.AmoMaxU:
+		if operand > old {
+			return operand
+		}
+		return old
+	default:
+		panic(fmt.Sprintf("mem: AmoALU called with %v", op))
+	}
+}
+
+// Stats aggregates a bank's activity for the energy model.
+type Stats struct {
+	// Accesses counts processed requests (bank activations).
+	Accesses uint64
+	// Writes counts committed word writes.
+	Writes uint64
+	// StallCycles counts cycles the bank could not accept a request
+	// because its response port was backed up.
+	StallCycles uint64
+}
+
+// Bank is one SPM bank.
+type Bank struct {
+	id       int
+	numBanks int
+	words    []uint32
+	adapter  Adapter
+
+	// In is the request delivery FIFO (owned by the fabric).
+	In *engine.FIFO[bus.Request]
+	// Out is the response injection FIFO (owned by the fabric).
+	Out *engine.FIFO[bus.Response]
+
+	// pending holds responses produced but not yet pushed (the response
+	// port moves one per cycle).
+	pending []bus.Response
+
+	Stats Stats
+}
+
+// NewBank creates bank id of numBanks with wordsPerBank words of local
+// storage, attached to the given fabric FIFOs.
+func NewBank(id, numBanks, wordsPerBank int, adapter Adapter,
+	in *engine.FIFO[bus.Request], out *engine.FIFO[bus.Response]) *Bank {
+	if adapter == nil {
+		panic("mem: nil adapter")
+	}
+	return &Bank{
+		id:       id,
+		numBanks: numBanks,
+		words:    make([]uint32, wordsPerBank),
+		adapter:  adapter,
+		In:       in,
+		Out:      out,
+	}
+}
+
+// BankID implements Storage.
+func (b *Bank) BankID() int { return b.id }
+
+// index maps a global byte address to the local word index, asserting
+// alignment and residency.
+func (b *Bank) index(addr uint32) int {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned access %#x at bank %d", addr, b.id))
+	}
+	word := addr >> 2
+	if int(word%uint32(b.numBanks)) != b.id {
+		panic(fmt.Sprintf("mem: address %#x routed to wrong bank %d", addr, b.id))
+	}
+	idx := int(word / uint32(b.numBanks))
+	if idx >= len(b.words) {
+		panic(fmt.Sprintf("mem: address %#x beyond bank %d capacity", addr, b.id))
+	}
+	return idx
+}
+
+// Read implements Storage.
+func (b *Bank) Read(addr uint32) uint32 { return b.words[b.index(addr)] }
+
+// Write implements Storage.
+func (b *Bank) Write(addr uint32, v uint32) {
+	b.words[b.index(addr)] = v
+	b.Stats.Writes++
+}
+
+// Adapter returns the bank's atomics adapter.
+func (b *Bank) Adapter() Adapter { return b.adapter }
+
+// Poke writes a word directly, bypassing timing — used to initialize data
+// sections before a run.
+func (b *Bank) Poke(addr uint32, v uint32) { b.words[b.index(addr)] = v }
+
+// Peek reads a word directly, bypassing timing.
+func (b *Bank) Peek(addr uint32) uint32 { return b.words[b.index(addr)] }
+
+// Tick processes one cycle: first drain one pending response, then (if no
+// backlog remains) accept and handle one request. Refusing to accept while
+// responses are backed up gives the response port priority and bounds the
+// pending queue.
+func (b *Bank) Tick() {
+	if len(b.pending) > 0 {
+		if b.Out.Push(b.pending[0]) {
+			copy(b.pending, b.pending[1:])
+			b.pending = b.pending[:len(b.pending)-1]
+		}
+		if len(b.pending) > 0 {
+			b.Stats.StallCycles++
+			return
+		}
+	}
+	req, ok := b.In.Peek()
+	if !ok {
+		return
+	}
+	b.In.Pop()
+	b.Stats.Accesses++
+	resps := b.adapter.Handle(req, b)
+	for _, r := range resps {
+		if len(b.pending) == 0 && b.Out.Push(r) {
+			continue
+		}
+		b.pending = append(b.pending, r)
+	}
+}
+
+// Idle reports whether the bank has no queued input or pending output.
+func (b *Bank) Idle() bool { return b.In.Len() == 0 && len(b.pending) == 0 }

@@ -1,0 +1,53 @@
+package mem
+
+import "repro/internal/bus"
+
+// HandleBasic implements the semantics shared by every adapter: Load,
+// Store and the AMOs. It reports whether it handled the request and
+// whether memory was written (so policy adapters can run their reservation
+// invalidation / monitor hooks).
+func HandleBasic(req bus.Request, s Storage) (resp bus.Response, wrote, handled bool) {
+	switch {
+	case req.Op == bus.Load:
+		return bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: true}, false, true
+	case req.Op == bus.Store:
+		s.Write(req.Addr, req.Data)
+		return bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true},
+			true, true
+	case req.Op.IsAMO():
+		old := s.Read(req.Addr)
+		s.Write(req.Addr, AmoALU(req.Op, old, req.Data))
+		return bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: old, OK: true}, true, true
+	}
+	return bus.Response{}, false, false
+}
+
+// PlainAdapter supports only the basic operations. LR reads without placing
+// a reservation so a following SC always fails; LRwait/Mwait respond
+// immediately with the value but OK=false (refused), matching the software
+// contract that a refused reservation is discovered by the failing
+// SC/SCwait. It exists as the no-synchronization baseline and for tests.
+type PlainAdapter struct{}
+
+// Name implements Adapter.
+func (PlainAdapter) Name() string { return "plain" }
+
+// Handle implements Adapter.
+func (PlainAdapter) Handle(req bus.Request, s Storage) []bus.Response {
+	if resp, _, ok := HandleBasic(req, s); ok {
+		return []bus.Response{resp}
+	}
+	switch req.Op {
+	case bus.LR, bus.LRWait, bus.MWait:
+		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false}}
+	case bus.SC, bus.SCWait:
+		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	case bus.WakeUpReq:
+		// No queues to wake; drop.
+		return nil
+	}
+	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+}

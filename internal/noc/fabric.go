@@ -1,0 +1,264 @@
+package noc
+
+import (
+	"repro/internal/bus"
+	"repro/internal/engine"
+)
+
+// Fabric instantiates the two networks (request and response) for a
+// topology and owns every FIFO in them.
+//
+// The structure follows MemPool's hierarchy: every tile has one egress
+// port per destination group (so traffic to different groups never blocks
+// each other at the source — each tile of MemPool likewise owns a master
+// port per group), a link arbiter per ordered group pair that merges the
+// member tiles' traffic onto the inter-group link, and a per-group
+// distribution router that fans traffic out to the destination tiles.
+//
+// Request path:
+//
+//	core egress → tile router → local bank FIFO                 (same tile)
+//	            → tile egress[g] → link arbiter(g→h) → link
+//	            → group-h router → tile ingress → tile router → bank
+//
+// The response network mirrors it from bank egress FIFOs to core response
+// FIFOs. Each hop costs one cycle (timestamped FIFOs); every port moves at
+// most one message per cycle; all FIFOs are bounded, so a hot spot
+// backpressures into the tree (head-of-line blocking) — the congestion
+// mechanism behind the paper's interference experiment — while traffic to
+// other groups keeps flowing on its own ports.
+type Fabric struct {
+	Topo  Topology
+	Clock *engine.Clock
+
+	// CoreReq is the per-core request injection port (cores push).
+	CoreReq []*engine.FIFO[bus.Request]
+	// CoreResp is the per-core response delivery port (platform pops).
+	CoreResp []*engine.FIFO[bus.Response]
+	// BankReq is the per-bank request delivery port (banks pop).
+	BankReq []*engine.FIFO[bus.Request]
+	// BankResp is the per-bank response injection port (banks push).
+	BankResp []*engine.FIFO[bus.Response]
+
+	reqRouters  []*Router[bus.Request]
+	respRouters []*Router[bus.Response]
+
+	allReqFIFOs  []*engine.FIFO[bus.Request]
+	allRespFIFOs []*engine.FIFO[bus.Response]
+}
+
+// NewFabric builds the fabric. depth is the capacity of every FIFO stage;
+// small depths (2–4) are realistic for SPM-class interconnects and are
+// what produce hot-spot tree saturation.
+func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	if depth <= 0 {
+		depth = 2
+	}
+	f := &Fabric{Topo: topo, Clock: clock}
+
+	nCores, nBanks := topo.NumCores(), topo.NumBanks()
+	nTiles, nGroups := topo.NumTiles(), topo.NumGroups
+
+	newReq := func(d int) *engine.FIFO[bus.Request] {
+		q := engine.NewFIFO[bus.Request](d, clock)
+		f.allReqFIFOs = append(f.allReqFIFOs, q)
+		return q
+	}
+	newResp := func(d int) *engine.FIFO[bus.Response] {
+		q := engine.NewFIFO[bus.Response](d, clock)
+		f.allRespFIFOs = append(f.allRespFIFOs, q)
+		return q
+	}
+
+	f.CoreReq = make([]*engine.FIFO[bus.Request], nCores)
+	f.CoreResp = make([]*engine.FIFO[bus.Response], nCores)
+	for c := 0; c < nCores; c++ {
+		f.CoreReq[c] = newReq(depth)
+		f.CoreResp[c] = newResp(depth)
+	}
+	f.BankReq = make([]*engine.FIFO[bus.Request], nBanks)
+	f.BankResp = make([]*engine.FIFO[bus.Response], nBanks)
+	for b := 0; b < nBanks; b++ {
+		f.BankReq[b] = newReq(depth)
+		f.BankResp[b] = newResp(depth)
+	}
+
+	// Per-tile egress FIFOs, one per destination group; per-tile ingress
+	// FIFO from its group router.
+	tileEgressReq := make([][]*engine.FIFO[bus.Request], nTiles)
+	tileEgressResp := make([][]*engine.FIFO[bus.Response], nTiles)
+	tileIngressReq := make([]*engine.FIFO[bus.Request], nTiles)
+	tileIngressResp := make([]*engine.FIFO[bus.Response], nTiles)
+	for t := 0; t < nTiles; t++ {
+		tileEgressReq[t] = make([]*engine.FIFO[bus.Request], nGroups)
+		tileEgressResp[t] = make([]*engine.FIFO[bus.Response], nGroups)
+		for g := 0; g < nGroups; g++ {
+			tileEgressReq[t][g] = newReq(depth)
+			tileEgressResp[t][g] = newResp(depth)
+		}
+		tileIngressReq[t] = newReq(depth)
+		tileIngressResp[t] = newResp(depth)
+	}
+
+	// Inter-group links (ordered pairs, g != h) and intra-group merge
+	// links (g == g).
+	linkReq := make([][]*engine.FIFO[bus.Request], nGroups)
+	linkResp := make([][]*engine.FIFO[bus.Response], nGroups)
+	for g := 0; g < nGroups; g++ {
+		linkReq[g] = make([]*engine.FIFO[bus.Request], nGroups)
+		linkResp[g] = make([]*engine.FIFO[bus.Response], nGroups)
+		for h := 0; h < nGroups; h++ {
+			linkReq[g][h] = newReq(depth)
+			linkResp[g][h] = newResp(depth)
+		}
+	}
+
+	// --- Request network ---
+
+	// Tile routers: local cores + group ingress → local banks + per-group
+	// egress.
+	for t := 0; t < nTiles; t++ {
+		t := t
+		in := make([]*engine.FIFO[bus.Request], 0, topo.CoresPerTile+1)
+		for c := 0; c < topo.CoresPerTile; c++ {
+			in = append(in, f.CoreReq[t*topo.CoresPerTile+c])
+		}
+		in = append(in, tileIngressReq[t])
+		out := make([]*engine.FIFO[bus.Request], 0, topo.BanksPerTile+nGroups)
+		for b := 0; b < topo.BanksPerTile; b++ {
+			out = append(out, f.BankReq[t*topo.BanksPerTile+b])
+		}
+		out = append(out, tileEgressReq[t]...)
+		route := func(r bus.Request) int {
+			bank := topo.BankOfAddr(r.Addr)
+			if topo.TileOfBank(bank) == t {
+				return bank % topo.BanksPerTile
+			}
+			return topo.BanksPerTile + topo.GroupOfBank(bank)
+		}
+		f.reqRouters = append(f.reqRouters, NewRouter("tile-req", in, out, route))
+	}
+
+	// Link arbiters: merge the member tiles' per-destination egress FIFOs
+	// onto the (g→h) link.
+	for g := 0; g < nGroups; g++ {
+		for h := 0; h < nGroups; h++ {
+			in := make([]*engine.FIFO[bus.Request], 0, topo.TilesPerGroup)
+			for ti := 0; ti < topo.TilesPerGroup; ti++ {
+				in = append(in, tileEgressReq[g*topo.TilesPerGroup+ti][h])
+			}
+			out := []*engine.FIFO[bus.Request]{linkReq[g][h]}
+			f.reqRouters = append(f.reqRouters,
+				NewRouter("link-req", in, out, func(bus.Request) int { return 0 }))
+		}
+	}
+
+	// Group distribution routers: incoming links → member tile ingress.
+	for g := 0; g < nGroups; g++ {
+		g := g
+		in := make([]*engine.FIFO[bus.Request], 0, nGroups)
+		for h := 0; h < nGroups; h++ {
+			in = append(in, linkReq[h][g])
+		}
+		out := make([]*engine.FIFO[bus.Request], 0, topo.TilesPerGroup)
+		for ti := 0; ti < topo.TilesPerGroup; ti++ {
+			out = append(out, tileIngressReq[g*topo.TilesPerGroup+ti])
+		}
+		route := func(r bus.Request) int {
+			return topo.TileOfBank(topo.BankOfAddr(r.Addr)) % topo.TilesPerGroup
+		}
+		f.reqRouters = append(f.reqRouters, NewRouter("group-req", in, out, route))
+	}
+
+	// --- Response network (mirror, routed by destination core) ---
+
+	for t := 0; t < nTiles; t++ {
+		t := t
+		var in []*engine.FIFO[bus.Response]
+		for b := 0; b < topo.BanksPerTile; b++ {
+			in = append(in, f.BankResp[t*topo.BanksPerTile+b])
+		}
+		in = append(in, tileIngressResp[t])
+		var out []*engine.FIFO[bus.Response]
+		for c := 0; c < topo.CoresPerTile; c++ {
+			out = append(out, f.CoreResp[t*topo.CoresPerTile+c])
+		}
+		out = append(out, tileEgressResp[t]...)
+		route := func(r bus.Response) int {
+			if topo.TileOfCore(r.Dst) == t {
+				return r.Dst % topo.CoresPerTile
+			}
+			return topo.CoresPerTile + topo.GroupOfCore(r.Dst)
+		}
+		f.respRouters = append(f.respRouters, NewRouter("tile-resp", in, out, route))
+	}
+
+	for g := 0; g < nGroups; g++ {
+		for h := 0; h < nGroups; h++ {
+			in := make([]*engine.FIFO[bus.Response], 0, topo.TilesPerGroup)
+			for ti := 0; ti < topo.TilesPerGroup; ti++ {
+				in = append(in, tileEgressResp[g*topo.TilesPerGroup+ti][h])
+			}
+			out := []*engine.FIFO[bus.Response]{linkResp[g][h]}
+			f.respRouters = append(f.respRouters,
+				NewRouter("link-resp", in, out, func(bus.Response) int { return 0 }))
+		}
+	}
+
+	for g := 0; g < nGroups; g++ {
+		g := g
+		var in []*engine.FIFO[bus.Response]
+		for h := 0; h < nGroups; h++ {
+			in = append(in, linkResp[h][g])
+		}
+		var out []*engine.FIFO[bus.Response]
+		for ti := 0; ti < topo.TilesPerGroup; ti++ {
+			out = append(out, tileIngressResp[g*topo.TilesPerGroup+ti])
+		}
+		route := func(r bus.Response) int {
+			return topo.TileOfCore(r.Dst) % topo.TilesPerGroup
+		}
+		f.respRouters = append(f.respRouters, NewRouter("group-resp", in, out, route))
+	}
+
+	return f
+}
+
+// Tick advances every router by one cycle.
+func (f *Fabric) Tick() {
+	for _, r := range f.reqRouters {
+		r.Tick()
+	}
+	for _, r := range f.respRouters {
+		r.Tick()
+	}
+}
+
+// Flits returns the cumulative number of hop traversals in both networks,
+// the unit the energy model charges for interconnect activity.
+func (f *Fabric) Flits() uint64 {
+	var total uint64
+	for _, r := range f.reqRouters {
+		total += r.Forwards
+	}
+	for _, r := range f.respRouters {
+		total += r.Forwards
+	}
+	return total
+}
+
+// InFlight returns the number of messages currently queued anywhere in the
+// fabric, including injection and delivery ports.
+func (f *Fabric) InFlight() int {
+	total := 0
+	for _, q := range f.allReqFIFOs {
+		total += q.Len()
+	}
+	for _, q := range f.allRespFIFOs {
+		total += q.Len()
+	}
+	return total
+}

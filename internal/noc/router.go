@@ -1,0 +1,98 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Router is a generic input-queued router stage. Each input port is a
+// bounded timestamped FIFO; each output port forwards at most one message
+// per cycle into a downstream FIFO (the next router's input, or a terminal
+// port). Arbitration is round-robin across inputs with head-of-line
+// blocking: only the head of each input queue is considered, so a blocked
+// head stalls everything behind it — the mechanism behind hot-spot tree
+// saturation.
+type Router[T any] struct {
+	Name string
+	in   []*engine.FIFO[T]
+	out  []*engine.FIFO[T]
+	// route maps a message to an output port index.
+	route func(T) int
+	// rr is the per-output round-robin pointer, advanced past the last
+	// winning input. (A pointer that merely rotates once per cycle can
+	// phase-lock with periodic downstream grants and starve inputs
+	// indefinitely — observed as a livelocked reservation holder.)
+	rr []int
+	// Forwards counts messages moved, for the energy model.
+	Forwards uint64
+	// taken marks inputs that already forwarded this cycle.
+	taken []bool
+}
+
+// NewRouter creates a router with the given input and output ports.
+// The ports are owned by the caller (the fabric builder), which lets two
+// routers share a FIFO as "my output, your input".
+func NewRouter[T any](name string, in, out []*engine.FIFO[T], route func(T) int) *Router[T] {
+	if len(in) == 0 || len(out) == 0 {
+		panic(fmt.Sprintf("noc: router %s needs ports", name))
+	}
+	return &Router[T]{Name: name, in: in, out: out, route: route,
+		rr: make([]int, len(out)), taken: make([]bool, len(in))}
+}
+
+// Tick forwards up to one message per output port (and at most one per
+// input port), with independent round-robin arbitration per output. It
+// returns the number of messages moved.
+func (r *Router[T]) Tick() int {
+	n := len(r.in)
+	// Fast path: nothing queued anywhere.
+	busy := false
+	for _, f := range r.in {
+		if f.Len() > 0 {
+			busy = true
+			break
+		}
+	}
+	if !busy {
+		return 0
+	}
+	for i := range r.taken {
+		r.taken[i] = false
+	}
+	moved := 0
+	for o := range r.out {
+		if r.out[o].Full() {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			i := (r.rr[o] + k) % n
+			if r.taken[i] {
+				continue
+			}
+			head, ok := r.in[i].Peek()
+			if !ok || r.route(head) != o {
+				continue // HOL blocking: only the head is considered
+			}
+			if !r.out[o].Push(head) {
+				break
+			}
+			r.in[i].Pop()
+			r.taken[i] = true
+			r.rr[o] = (i + 1) % n
+			moved++
+			break
+		}
+	}
+	r.Forwards += uint64(moved)
+	return moved
+}
+
+// Occupancy returns the total number of messages queued at the inputs.
+func (r *Router[T]) Occupancy() int {
+	total := 0
+	for _, f := range r.in {
+		total += f.Len()
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+// Package noc models the hierarchical interconnect of a MemPool-class
+// manycore: cores grouped into tiles, tiles into groups, groups connected
+// all-to-all. Requests and responses travel on two disjoint networks
+// (protocol deadlock freedom). Every port is a bounded, timestamped FIFO:
+// one cycle per hop, credit-style backpressure, round-robin arbitration,
+// and head-of-line blocking — the ingredients that turn a hot-spot into
+// tree saturation, which the paper's interference experiment (Fig. 5)
+// depends on.
+package noc
+
+import "fmt"
+
+// Topology describes the core/bank/tile/group arrangement. Memory is
+// word-interleaved across all banks system-wide, as in MemPool's shared L1.
+type Topology struct {
+	CoresPerTile  int
+	BanksPerTile  int
+	TilesPerGroup int
+	NumGroups     int
+}
+
+// MemPool256 is the paper's evaluation platform: 256 cores and 1024 SPM
+// banks in 64 tiles of 4 cores and 16 banks, 16 tiles per group, 4 groups.
+func MemPool256() Topology {
+	return Topology{CoresPerTile: 4, BanksPerTile: 16, TilesPerGroup: 16, NumGroups: 4}
+}
+
+// Small returns a reduced platform for unit tests: 16 cores, 64 banks,
+// 2 groups of 2 tiles with 4 cores and 16 banks each.
+func Small() Topology {
+	return Topology{CoresPerTile: 4, BanksPerTile: 16, TilesPerGroup: 2, NumGroups: 2}
+}
+
+// Medium returns a quarter-scale MemPool for benchmarks: 64 cores and 256
+// banks in 16 tiles, 4 groups.
+func Medium() Topology {
+	return Topology{CoresPerTile: 4, BanksPerTile: 16, TilesPerGroup: 4, NumGroups: 4}
+}
+
+// Validate checks structural sanity.
+func (t Topology) Validate() error {
+	switch {
+	case t.CoresPerTile <= 0:
+		return fmt.Errorf("noc: CoresPerTile = %d", t.CoresPerTile)
+	case t.BanksPerTile <= 0:
+		return fmt.Errorf("noc: BanksPerTile = %d", t.BanksPerTile)
+	case t.TilesPerGroup <= 0:
+		return fmt.Errorf("noc: TilesPerGroup = %d", t.TilesPerGroup)
+	case t.NumGroups <= 0:
+		return fmt.Errorf("noc: NumGroups = %d", t.NumGroups)
+	}
+	return nil
+}
+
+// NumTiles returns the total tile count.
+func (t Topology) NumTiles() int { return t.TilesPerGroup * t.NumGroups }
+
+// NumCores returns the total core count.
+func (t Topology) NumCores() int { return t.NumTiles() * t.CoresPerTile }
+
+// NumBanks returns the total bank count.
+func (t Topology) NumBanks() int { return t.NumTiles() * t.BanksPerTile }
+
+// TileOfCore returns the tile housing core c.
+func (t Topology) TileOfCore(c int) int { return c / t.CoresPerTile }
+
+// TileOfBank returns the tile housing bank b.
+func (t Topology) TileOfBank(b int) int { return b / t.BanksPerTile }
+
+// GroupOfTile returns the group containing tile ti.
+func (t Topology) GroupOfTile(ti int) int { return ti / t.TilesPerGroup }
+
+// GroupOfCore returns the group containing core c.
+func (t Topology) GroupOfCore(c int) int { return t.GroupOfTile(t.TileOfCore(c)) }
+
+// GroupOfBank returns the group containing bank b.
+func (t Topology) GroupOfBank(b int) int { return t.GroupOfTile(t.TileOfBank(b)) }
+
+// BankOfAddr maps a byte address to its bank: word-interleaved across all
+// banks, exactly like MemPool's sequentially-interleaved L1 region.
+func (t Topology) BankOfAddr(addr uint32) int {
+	return int((addr >> 2) % uint32(t.NumBanks()))
+}
+
+// WordOfAddr maps a byte address to the bank-local word index.
+func (t Topology) WordOfAddr(addr uint32) int {
+	return int((addr >> 2) / uint32(t.NumBanks()))
+}
+
+// Distance classifies the hop count class between a core and a bank:
+// 0 = same tile, 1 = same group, 2 = remote group. Used by tracing and the
+// energy model.
+func (t Topology) Distance(core, bank int) int {
+	ct, bt := t.TileOfCore(core), t.TileOfBank(bank)
+	switch {
+	case ct == bt:
+		return 0
+	case t.GroupOfTile(ct) == t.GroupOfTile(bt):
+		return 1
+	default:
+		return 2
+	}
+}

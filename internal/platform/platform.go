@@ -1,0 +1,236 @@
+// Package platform assembles the full MemPool-class system: cores behind
+// Colibri Qnodes, the two-network fabric, and adapter-equipped SPM banks.
+// It drives the cycle loop and takes activity snapshots for the
+// throughput, fairness and energy evaluations.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/colibri"
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/reserve"
+)
+
+// PolicyKind selects the atomics adapter attached to every bank.
+type PolicyKind int
+
+const (
+	// PolicyPlain: no reservation support (baseline / AMO-only runs).
+	PolicyPlain PolicyKind = iota
+	// PolicyLRSCSingle: MemPool's single reservation slot per bank.
+	PolicyLRSCSingle
+	// PolicyLRSCTable: ATUN-style per-core reservation table.
+	PolicyLRSCTable
+	// PolicyWaitQueue: LRSCwait_q hardware queue (QueueCap slots;
+	// 0 means ideal = one per core).
+	PolicyWaitQueue
+	// PolicyColibri: the distributed queue (ColibriQueues head/tail
+	// pairs per bank controller).
+	PolicyColibri
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyPlain:
+		return "plain"
+	case PolicyLRSCSingle:
+		return "lrsc"
+	case PolicyLRSCTable:
+		return "lrsc-table"
+	case PolicyWaitQueue:
+		return "lrscwait"
+	case PolicyColibri:
+		return "colibri"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes a system instance.
+type Config struct {
+	Topo noc.Topology
+	// FIFODepth is the capacity of every fabric FIFO stage (default 2).
+	FIFODepth int
+	// WordsPerBank sizes each bank's storage (default 1024 words).
+	WordsPerBank int
+	Policy       PolicyKind
+	// QueueCap: WaitQueue slots per bank; 0 = ideal (one per core).
+	QueueCap int
+	// ColibriQueues: head/tail pairs per bank controller (default 4).
+	ColibriQueues int
+}
+
+// MemPoolConfig returns the paper's 256-core evaluation configuration with
+// the given policy.
+func MemPoolConfig(policy PolicyKind) Config {
+	return Config{Topo: noc.MemPool256(), Policy: policy}
+}
+
+// SmallConfig returns a 16-core configuration for tests.
+func SmallConfig(policy PolicyKind) Config {
+	return Config{Topo: noc.Small(), Policy: policy}
+}
+
+// ProgramFor supplies each core's program (and may return the same program
+// for every core).
+type ProgramFor func(core int) *isa.Program
+
+// SameProgram runs one program on every core.
+func SameProgram(p *isa.Program) ProgramFor {
+	return func(int) *isa.Program { return p }
+}
+
+// fifoSink adapts an engine FIFO to colibri.ReqSink.
+type fifoSink struct{ f *engine.FIFO[bus.Request] }
+
+func (s fifoSink) TryPush(r bus.Request) bool { return s.f.Push(r) }
+
+// System is a fully wired simulation instance.
+type System struct {
+	Cfg    Config
+	Clock  engine.Clock
+	Fabric *noc.Fabric
+	Banks  []*mem.Bank
+	Cores  []*cpu.Core
+	Qnodes []*colibri.Qnode
+}
+
+// New builds a system with every core running progFor(core).
+func New(cfg Config, progFor ProgramFor) *System {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.FIFODepth <= 0 {
+		cfg.FIFODepth = 2
+	}
+	if cfg.WordsPerBank <= 0 {
+		cfg.WordsPerBank = 1024
+	}
+	if cfg.ColibriQueues <= 0 {
+		cfg.ColibriQueues = 4
+	}
+	s := &System{Cfg: cfg}
+	topo := cfg.Topo
+	s.Fabric = noc.NewFabric(topo, &s.Clock, cfg.FIFODepth)
+
+	nBanks := topo.NumBanks()
+	s.Banks = make([]*mem.Bank, nBanks)
+	for b := 0; b < nBanks; b++ {
+		s.Banks[b] = mem.NewBank(b, nBanks, cfg.WordsPerBank, s.newAdapter(),
+			s.Fabric.BankReq[b], s.Fabric.BankResp[b])
+	}
+
+	nCores := topo.NumCores()
+	s.Cores = make([]*cpu.Core, nCores)
+	s.Qnodes = make([]*colibri.Qnode, nCores)
+	for c := 0; c < nCores; c++ {
+		s.Qnodes[c] = colibri.NewQnode(c, fifoSink{s.Fabric.CoreReq[c]})
+		prog := progFor(c)
+		s.Cores[c] = cpu.New(c, nCores, &s.Clock, s.Qnodes[c], prog)
+	}
+	return s
+}
+
+// newAdapter instantiates the configured policy (one adapter per bank).
+func (s *System) newAdapter() mem.Adapter {
+	switch s.Cfg.Policy {
+	case PolicyPlain:
+		return mem.PlainAdapter{}
+	case PolicyLRSCSingle:
+		return reserve.NewSingleSlot()
+	case PolicyLRSCTable:
+		return reserve.NewTable(s.Cfg.Topo.NumCores())
+	case PolicyWaitQueue:
+		cap := s.Cfg.QueueCap
+		if cap <= 0 {
+			cap = s.Cfg.Topo.NumCores()
+		}
+		return reserve.NewWaitQueue(cap)
+	case PolicyColibri:
+		return colibri.NewController(s.Cfg.ColibriQueues)
+	}
+	panic(fmt.Sprintf("platform: unknown policy %d", s.Cfg.Policy))
+}
+
+// Tick advances the whole system by one cycle.
+func (s *System) Tick() {
+	for i, c := range s.Cores {
+		s.Qnodes[i].Tick()
+		c.Tick()
+	}
+	s.Fabric.Tick()
+	for _, b := range s.Banks {
+		b.Tick()
+	}
+	for i := range s.Cores {
+		if resp, ok := s.Fabric.CoreResp[i].Pop(); ok {
+			if out := s.Qnodes[i].Deliver(resp); out != nil {
+				s.Cores[i].Deliver(*out)
+			}
+		}
+	}
+	s.Clock.Advance()
+}
+
+// Run advances n cycles.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Tick()
+	}
+}
+
+// RunUntilHalted runs until every core halted or maxCycles elapse; it
+// reports whether all cores halted.
+func (s *System) RunUntilHalted(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if s.AllHalted() {
+			return true
+		}
+		s.Tick()
+	}
+	return s.AllHalted()
+}
+
+// AllHalted reports whether every core has executed HALT.
+func (s *System) AllHalted() bool {
+	for _, c := range s.Cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether no message is in flight anywhere.
+func (s *System) Quiescent() bool {
+	if s.Fabric.InFlight() != 0 {
+		return false
+	}
+	for _, b := range s.Banks {
+		if !b.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// bankFor returns the bank holding addr.
+func (s *System) bankFor(addr uint32) *mem.Bank {
+	return s.Banks[s.Cfg.Topo.BankOfAddr(addr)]
+}
+
+// WriteWord initializes a memory word directly (zero simulated time).
+func (s *System) WriteWord(addr, v uint32) { s.bankFor(addr).Poke(addr, v) }
+
+// ReadWord reads a memory word directly (zero simulated time).
+func (s *System) ReadWord(addr uint32) uint32 { return s.bankFor(addr).Peek(addr) }
+
+// MemWords returns the total addressable words.
+func (s *System) MemWords() int {
+	return s.Cfg.WordsPerBank * s.Cfg.Topo.NumBanks()
+}

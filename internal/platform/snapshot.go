@@ -1,0 +1,194 @@
+package platform
+
+import (
+	"repro/internal/colibri"
+	"repro/internal/engine"
+	"repro/internal/reserve"
+)
+
+// Activity is a cumulative activity snapshot across the whole system; the
+// energy model and the benchmark harness work on deltas of two snapshots.
+type Activity struct {
+	Cycle engine.Cycle
+
+	// Per-core completed benchmark operations (MARK instructions).
+	OpsPerCore []uint64
+	TotalOps   uint64
+
+	Instrs           uint64
+	BusyCycles       uint64
+	MemWaitCycles    uint64
+	SleepCycles      uint64
+	PauseCycles      uint64
+	IssueStallCycles uint64
+	HaltedCycles     uint64
+
+	SCSuccess    uint64
+	SCFail       uint64
+	WaitRefusals uint64
+
+	// Fabric hop traversals and bank activations.
+	Flits        uint64
+	BankAccesses uint64
+	BankWrites   uint64
+
+	// Protocol traffic (Colibri).
+	SuccUpdates uint64
+	WakeUps     uint64
+}
+
+// Snapshot captures the current cumulative activity.
+func (s *System) Snapshot() Activity {
+	a := Activity{
+		Cycle:      s.Clock.Now(),
+		OpsPerCore: make([]uint64, len(s.Cores)),
+	}
+	for i, c := range s.Cores {
+		st := c.Stats
+		a.OpsPerCore[i] = st.Ops
+		a.TotalOps += st.Ops
+		a.Instrs += st.Instrs
+		a.BusyCycles += st.BusyCycles
+		a.MemWaitCycles += st.MemWaitCycles
+		a.SleepCycles += st.SleepCycles
+		a.PauseCycles += st.PauseCycles
+		a.IssueStallCycles += st.IssueStallCycles
+		a.HaltedCycles += st.HaltedCycles
+		a.SCSuccess += st.SCSuccess
+		a.SCFail += st.SCFail
+		a.WaitRefusals += st.WaitRefusals
+	}
+	for _, n := range s.Qnodes {
+		a.SuccUpdates += n.Stats.SuccUpdates
+		a.WakeUps += n.Stats.WakeUpsSent
+	}
+	a.Flits = s.Fabric.Flits()
+	for _, b := range s.Banks {
+		a.BankAccesses += b.Stats.Accesses
+		a.BankWrites += b.Stats.Writes
+	}
+	return a
+}
+
+// Delta returns the activity between two snapshots (b - a).
+func Delta(a, b Activity) Activity {
+	d := Activity{
+		Cycle:      b.Cycle - a.Cycle,
+		OpsPerCore: make([]uint64, len(b.OpsPerCore)),
+	}
+	for i := range b.OpsPerCore {
+		d.OpsPerCore[i] = b.OpsPerCore[i] - a.OpsPerCore[i]
+		d.TotalOps += d.OpsPerCore[i]
+	}
+	d.Instrs = b.Instrs - a.Instrs
+	d.BusyCycles = b.BusyCycles - a.BusyCycles
+	d.MemWaitCycles = b.MemWaitCycles - a.MemWaitCycles
+	d.SleepCycles = b.SleepCycles - a.SleepCycles
+	d.PauseCycles = b.PauseCycles - a.PauseCycles
+	d.IssueStallCycles = b.IssueStallCycles - a.IssueStallCycles
+	d.HaltedCycles = b.HaltedCycles - a.HaltedCycles
+	d.SCSuccess = b.SCSuccess - a.SCSuccess
+	d.SCFail = b.SCFail - a.SCFail
+	d.WaitRefusals = b.WaitRefusals - a.WaitRefusals
+	d.Flits = b.Flits - a.Flits
+	d.BankAccesses = b.BankAccesses - a.BankAccesses
+	d.BankWrites = b.BankWrites - a.BankWrites
+	d.SuccUpdates = b.SuccUpdates - a.SuccUpdates
+	d.WakeUps = b.WakeUps - a.WakeUps
+	return d
+}
+
+// Throughput returns completed operations per cycle in this activity window.
+func (a Activity) Throughput() float64 {
+	if a.Cycle == 0 {
+		return 0
+	}
+	return float64(a.TotalOps) / float64(a.Cycle)
+}
+
+// MinMaxOps returns the slowest and fastest per-core operation counts
+// (Fig. 6's fairness band).
+func (a Activity) MinMaxOps() (min, max uint64) {
+	if len(a.OpsPerCore) == 0 {
+		return 0, 0
+	}
+	min, max = a.OpsPerCore[0], a.OpsPerCore[0]
+	for _, v := range a.OpsPerCore[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Measure runs warmup cycles, then measures for measure cycles, returning
+// the activity delta of the measurement window.
+func (s *System) Measure(warmup, measure int) Activity {
+	s.Run(warmup)
+	before := s.Snapshot()
+	s.Run(measure)
+	return Delta(before, s.Snapshot())
+}
+
+// PolicyStats aggregates the adapter statistics across all banks (zero
+// values for policies without the counter).
+func (s *System) PolicyStats() (grants, refused, scSuccess, scFail, invalidations uint64) {
+	for _, b := range s.Banks {
+		switch ad := b.Adapter().(type) {
+		case *reserve.SingleSlot:
+			grants += ad.Stats.Grants
+			refused += ad.Stats.Refused
+			scSuccess += ad.Stats.SCSuccess
+			scFail += ad.Stats.SCFail
+			invalidations += ad.Stats.Invalidations
+		case *reserve.Table:
+			grants += ad.Stats.Grants
+			refused += ad.Stats.Refused
+			scSuccess += ad.Stats.SCSuccess
+			scFail += ad.Stats.SCFail
+			invalidations += ad.Stats.Invalidations
+		case *reserve.WaitQueue:
+			grants += ad.Stats.Grants
+			refused += ad.Stats.Refused
+			scSuccess += ad.Stats.SCSuccess
+			scFail += ad.Stats.SCFail
+			invalidations += ad.Stats.Invalidations
+		case *colibri.Controller:
+			grants += ad.Stats.Grants
+			refused += ad.Stats.Refused
+			scSuccess += ad.Stats.SCSuccess
+			scFail += ad.Stats.SCFail
+			invalidations += ad.Stats.Invalidations
+		}
+	}
+	return
+}
+
+// Layout is a bump allocator for the shared word-interleaved address
+// space, used by kernels to place their data sections.
+type Layout struct{ nextWord uint32 }
+
+// NewLayout starts allocating at startWord.
+func NewLayout(startWord uint32) *Layout { return &Layout{nextWord: startWord} }
+
+// Words reserves n consecutive words and returns their base byte address.
+// Consecutive words land in consecutive banks (word interleaving).
+func (l *Layout) Words(n int) uint32 {
+	addr := l.nextWord * 4
+	l.nextWord += uint32(n)
+	return addr
+}
+
+// AlignWords rounds the next allocation up to a multiple of n words.
+func (l *Layout) AlignWords(n uint32) {
+	if n == 0 {
+		return
+	}
+	l.nextWord = (l.nextWord + n - 1) / n * n
+}
+
+// UsedWords returns the number of words allocated so far.
+func (l *Layout) UsedWords() int { return int(l.nextWord) }

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("beta-long-name", "22")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Errorf("row shorter than header: %q", l)
+		}
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[4], "beta-long-name") {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Addf(42, 3.5)
+	if tb.Rows[0][0] != "42" || tb.Rows[0][1] != "3.5" {
+		t.Errorf("Addf rows = %v", tb.Rows)
+	}
+}
+
+func TestTableTruncatesExtraCells(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.Add("a", "dropped")
+	if len(tb.Rows[0]) != 1 {
+		t.Errorf("row width = %d, want 1", len(tb.Rows[0]))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "x", "y")
+	tb.Add("1", "2")
+	want := "x,y\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" || F(1, 0) != "1" {
+		t.Error("F formatting wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %q", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Errorf("Ratio by zero = %q", Ratio(1, 0))
+	}
+}

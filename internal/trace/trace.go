@@ -1,0 +1,144 @@
+// Package trace samples system activity over time and renders the series
+// as text sparklines or CSV — the quick-look waveform viewer of this
+// simulator. It reads only public platform state, so it adds zero cost
+// when unused.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+// Sample is one observation of system-wide state.
+type Sample struct {
+	Cycle engine.Cycle
+	// Core-state census.
+	Busy, Sleeping, WaitingMem, Backoff, Halted int
+	// Messages queued anywhere in the fabric.
+	InFlight int
+	// Cumulative completed operations.
+	Ops uint64
+}
+
+// Capture takes one sample of sys.
+func Capture(sys *platform.System) Sample {
+	s := Sample{Cycle: sys.Clock.Now(), InFlight: sys.Fabric.InFlight()}
+	for _, c := range sys.Cores {
+		switch {
+		case c.Halted():
+			s.Halted++
+		case c.Sleeping():
+			s.Sleeping++
+		case c.State() == cpu.Stalled:
+			s.Backoff++
+		case c.State() == cpu.WaitResp || c.State() == cpu.WaitIssue:
+			s.WaitingMem++
+		default:
+			s.Busy++
+		}
+		s.Ops += c.Stats.Ops
+	}
+	return s
+}
+
+// Series is a sampled run.
+type Series struct {
+	Every   int
+	Samples []Sample
+}
+
+// Run advances sys by cycles, sampling every `every` cycles.
+func Run(sys *platform.System, cycles, every int) *Series {
+	if every <= 0 {
+		every = 1
+	}
+	tr := &Series{Every: every}
+	for i := 0; i < cycles; i++ {
+		if i%every == 0 {
+			tr.Samples = append(tr.Samples, Capture(sys))
+		}
+		sys.Tick()
+	}
+	tr.Samples = append(tr.Samples, Capture(sys))
+	return tr
+}
+
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values scaled to the given maximum.
+func sparkline(vals []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := int(v / max * float64(len(sparks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparks) {
+			idx = len(sparks) - 1
+		}
+		sb.WriteRune(sparks[idx])
+	}
+	return sb.String()
+}
+
+// Sparklines renders the core-census series plus throughput as aligned
+// sparkline rows.
+func (t *Series) Sparklines(nCores int) string {
+	if len(t.Samples) == 0 {
+		return ""
+	}
+	n := len(t.Samples)
+	busy := make([]float64, n)
+	sleep := make([]float64, n)
+	waitm := make([]float64, n)
+	backoff := make([]float64, n)
+	inflight := make([]float64, n)
+	tput := make([]float64, n)
+	maxFlight, maxTput := 1.0, 0.0001
+	for i, s := range t.Samples {
+		busy[i] = float64(s.Busy)
+		sleep[i] = float64(s.Sleeping)
+		waitm[i] = float64(s.WaitingMem)
+		backoff[i] = float64(s.Backoff)
+		inflight[i] = float64(s.InFlight)
+		if inflight[i] > maxFlight {
+			maxFlight = inflight[i]
+		}
+		if i > 0 {
+			tput[i] = float64(s.Ops-t.Samples[i-1].Ops) / float64(t.Every)
+			if tput[i] > maxTput {
+				maxTput = tput[i]
+			}
+		}
+	}
+	var sb strings.Builder
+	row := func(name string, vals []float64, max float64, unit string) {
+		fmt.Fprintf(&sb, "%-10s %s  (max %.3g %s)\n", name, sparkline(vals, max), max, unit)
+	}
+	row("busy", busy, float64(nCores), "cores")
+	row("sleeping", sleep, float64(nCores), "cores")
+	row("mem-wait", waitm, float64(nCores), "cores")
+	row("backoff", backoff, float64(nCores), "cores")
+	row("in-flight", inflight, maxFlight, "msgs")
+	row("ops/cycle", tput, maxTput, "")
+	return sb.String()
+}
+
+// CSV renders the samples as comma-separated values.
+func (t *Series) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("cycle,busy,sleeping,memwait,backoff,halted,inflight,ops\n")
+	for _, s := range t.Samples {
+		fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, s.Busy, s.Sleeping, s.WaitingMem, s.Backoff, s.Halted,
+			s.InFlight, s.Ops)
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+func sampledSystem(t *testing.T) *platform.System {
+	t.Helper()
+	cfg := platform.SmallConfig(platform.PolicyColibri)
+	l := platform.NewLayout(0)
+	lay := kernels.NewHistLayout(l, 1, cfg.Topo.NumCores())
+	prog := kernels.HistogramProgram(kernels.HistLRSCWait, lay, 128, 0)
+	return platform.New(cfg, platform.SameProgram(prog))
+}
+
+func TestRunSamples(t *testing.T) {
+	sys := sampledSystem(t)
+	tr := Run(sys, 1000, 100)
+	if len(tr.Samples) != 11 { // 10 periodic + final
+		t.Fatalf("samples = %d, want 11", len(tr.Samples))
+	}
+	last := tr.Samples[len(tr.Samples)-1]
+	if last.Cycle != 1000 {
+		t.Errorf("final sample at cycle %d, want 1000", last.Cycle)
+	}
+	// Single-bin Colibri histogram: most cores asleep once warmed up.
+	if last.Sleeping == 0 {
+		t.Error("no sleeping cores sampled under full contention")
+	}
+	n := sys.Cfg.Topo.NumCores()
+	total := last.Busy + last.Sleeping + last.WaitingMem + last.Backoff + last.Halted
+	if total != n {
+		t.Errorf("core census = %d, want %d", total, n)
+	}
+	if last.Ops == 0 {
+		t.Error("no operations sampled")
+	}
+}
+
+func TestSparklines(t *testing.T) {
+	sys := sampledSystem(t)
+	tr := Run(sys, 500, 50)
+	out := tr.Sparklines(sys.Cfg.Topo.NumCores())
+	for _, want := range []string{"busy", "sleeping", "in-flight", "ops/cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sparklines missing %q:\n%s", want, out)
+		}
+	}
+	// Each row renders one rune per sample.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("rows = %d, want 6", len(lines))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	sys := sampledSystem(t)
+	tr := Run(sys, 200, 100)
+	csv := tr.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(tr.Samples) {
+		t.Errorf("csv lines = %d, want %d", len(lines), 1+len(tr.Samples))
+	}
+	if !strings.HasPrefix(lines[0], "cycle,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestSparklineScaling(t *testing.T) {
+	if got := sparkline([]float64{0, 1}, 1); got != "▁█" {
+		t.Errorf("sparkline = %q, want low+high", got)
+	}
+	if got := sparkline([]float64{5}, 0); len([]rune(got)) != 1 {
+		t.Errorf("zero-max sparkline = %q", got)
+	}
+}

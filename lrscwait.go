@@ -1,0 +1,210 @@
+// Package lrscwait is a library-level reproduction of "LRSCwait: Enabling
+// Scalable and Efficient Synchronization in Manycore Systems through
+// Polling-Free and Retry-Free Operation" (Riedel et al., DATE 2024).
+//
+// It bundles a deterministic cycle-accurate simulator of a MemPool-class
+// manycore (cores, hierarchical NoC, SPM banks), the paper's LRwait /
+// SCwait / Mwait primitives with four hardware reservation policies
+// (single-slot LRSC, reservation table, LRSCwait queues, and the Colibri
+// distributed queue), an assembler for benchmark kernels, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := lrscwait.MemPoolConfig(lrscwait.PolicyColibri)
+//	prog := ...                                 // build with NewProgram
+//	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(prog))
+//	sys.RunUntilHalted(1_000_000)
+//
+// See examples/ for runnable programs and cmd/ for the evaluation tools.
+package lrscwait
+
+import (
+	"repro/internal/area"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/noc"
+	"repro/internal/platform"
+)
+
+// Re-exported core types. The facade keeps downstream users off the
+// internal packages while exposing the full simulator API.
+type (
+	// Topology describes cores/banks/tiles/groups.
+	Topology = noc.Topology
+	// Config selects topology and reservation policy for a System.
+	Config = platform.Config
+	// System is a fully wired simulation instance.
+	System = platform.System
+	// Activity is a snapshot of system activity counters.
+	Activity = platform.Activity
+	// PolicyKind selects the per-bank atomics adapter.
+	PolicyKind = platform.PolicyKind
+	// Program is an assembled kernel.
+	Program = isa.Program
+	// Builder assembles Programs.
+	Builder = isa.Builder
+	// Reg is an ISA register.
+	Reg = isa.Reg
+	// Layout allocates kernel data sections.
+	Layout = platform.Layout
+	// EnergyParams holds the per-event energy model constants.
+	EnergyParams = energy.Params
+	// AreaModel holds the Table I area model constants.
+	AreaModel = area.Model
+)
+
+// ABI register aliases for kernel construction.
+const (
+	Zero = isa.Zero
+	RA   = isa.RA
+	T0   = isa.T0
+	T1   = isa.T1
+	T2   = isa.T2
+	T3   = isa.T3
+	T4   = isa.T4
+	A0   = isa.A0
+	A1   = isa.A1
+	A2   = isa.A2
+	A3   = isa.A3
+	S0   = isa.S0
+	S1   = isa.S1
+	S2   = isa.S2
+	S3   = isa.S3
+	S4   = isa.S4
+)
+
+// Reservation policies.
+const (
+	// PolicyPlain has no reservation support (AMO-only baselines).
+	PolicyPlain = platform.PolicyPlain
+	// PolicyLRSCSingle is MemPool's single reservation slot per bank.
+	PolicyLRSCSingle = platform.PolicyLRSCSingle
+	// PolicyLRSCTable is an ATUN-style per-core reservation table.
+	PolicyLRSCTable = platform.PolicyLRSCTable
+	// PolicyWaitQueue is the LRSCwait_q hardware queue (ideal when
+	// Config.QueueCap is zero).
+	PolicyWaitQueue = platform.PolicyWaitQueue
+	// PolicyColibri is the paper's distributed reservation queue.
+	PolicyColibri = platform.PolicyColibri
+)
+
+// MemPool256 returns the paper's 256-core, 1024-bank topology.
+func MemPool256() Topology { return noc.MemPool256() }
+
+// MediumTopology returns a quarter-scale MemPool (64 cores).
+func MediumTopology() Topology { return noc.Medium() }
+
+// SmallTopology returns a 16-core test topology.
+func SmallTopology() Topology { return noc.Small() }
+
+// MemPoolConfig returns the paper's evaluation configuration with the
+// given policy.
+func MemPoolConfig(policy PolicyKind) Config { return platform.MemPoolConfig(policy) }
+
+// NewSystem builds a system running progFor(core) on each core.
+func NewSystem(cfg Config, progFor func(core int) *Program) *System {
+	return platform.New(cfg, progFor)
+}
+
+// SameProgram runs one program on every core.
+func SameProgram(p *Program) func(int) *Program { return platform.SameProgram(p) }
+
+// NewProgram returns an empty program builder.
+func NewProgram() *Builder { return isa.NewBuilder() }
+
+// NewLayout returns a bump allocator for kernel data starting at startWord.
+func NewLayout(startWord uint32) *Layout { return platform.NewLayout(startWord) }
+
+// Disassemble renders a program as text.
+func Disassemble(p *Program) string { return isa.Disassemble(p) }
+
+// DefaultEnergy returns the calibrated energy model.
+func DefaultEnergy() EnergyParams { return energy.Default() }
+
+// DefaultArea returns the calibrated Table I area model.
+func DefaultArea() AreaModel { return area.Default() }
+
+// Experiment re-exports: the harness that regenerates the paper's tables
+// and figures (see cmd/ for the command-line front ends).
+type (
+	// HistSpec is one histogram curve (variant × policy).
+	HistSpec = experiments.HistSpec
+	// HistSeries is a measured throughput-vs-bins curve.
+	HistSeries = experiments.HistSeries
+	// QueueSeries is a measured Fig. 6 curve.
+	QueueSeries = experiments.QueueSeries
+	// InterferenceSeries is a measured Fig. 5 curve.
+	InterferenceSeries = experiments.InterferenceSeries
+	// EnergyRow is one Table II line.
+	EnergyRow = experiments.EnergyRow
+)
+
+// Fig3 measures histogram throughput for all Fig. 3 curves.
+func Fig3(topo Topology, bins []int, warmup, measure int) []HistSeries {
+	return experiments.Fig3(topo, bins, warmup, measure)
+}
+
+// Fig4 measures the Fig. 4 lock comparison.
+func Fig4(topo Topology, bins []int, warmup, measure int) []HistSeries {
+	return experiments.Fig4(topo, bins, warmup, measure)
+}
+
+// Fig5 measures the Fig. 5 interference experiment.
+func Fig5(topo Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
+	return experiments.Fig5(topo, bins, matN, warmup, measure)
+}
+
+// Fig6 measures the Fig. 6 queue scaling experiment.
+func Fig6(topo Topology, warmup, measure int) []QueueSeries {
+	return experiments.Fig6(topo, warmup, measure)
+}
+
+// TableI evaluates the area model on the published configurations.
+func TableI(nCores int) []area.Row { return area.TableI(area.Default(), nCores) }
+
+// TableII measures energy per operation at the highest contention.
+func TableII(topo Topology, warmup, measure int) []EnergyRow {
+	return experiments.TableII(topo, energy.Default(), warmup, measure)
+}
+
+// StandardBins returns the paper's bin sweep clipped to the topology.
+func StandardBins(topo Topology) []int { return experiments.StandardBins(topo) }
+
+// Histogram kernel construction for library users (see internal/kernels
+// for the full set of variants).
+type (
+	// HistVariant selects the histogram update primitive.
+	HistVariant = kernels.HistVariant
+	// HistLayout places the histogram data sections.
+	HistLayout = kernels.HistLayout
+)
+
+// Histogram variants.
+const (
+	HistAmoAdd       = kernels.HistAmoAdd
+	HistLRSC         = kernels.HistLRSC
+	HistLRSCWait     = kernels.HistLRSCWait
+	HistLockLRSC     = kernels.HistLockLRSC
+	HistLockLRSCWait = kernels.HistLockLRSCWait
+	HistLockTicket   = kernels.HistLockTicket
+	HistLockMCSMwait = kernels.HistLockMCSMwait
+)
+
+// NewHistLayout allocates histogram sections from l.
+func NewHistLayout(l *Layout, numBins, nCores int) HistLayout {
+	return kernels.NewHistLayout(l, numBins, nCores)
+}
+
+// HistogramProgram builds the histogram kernel.
+func HistogramProgram(v HistVariant, lay HistLayout, backoff int32, iters int) *Program {
+	return kernels.HistogramProgram(v, lay, backoff, iters)
+}
+
+// HistogramSum totals the bins after a run.
+func HistogramSum(sys *System, lay HistLayout) uint64 {
+	return kernels.HistogramSum(sys, lay)
+}

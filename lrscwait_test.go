@@ -1,0 +1,111 @@
+package lrscwait_test
+
+import (
+	"strings"
+	"testing"
+
+	lrscwait "repro"
+)
+
+// The facade tests exercise the public API end to end, the way the
+// examples and a downstream user would.
+
+func TestFacadeAtomicCounter(t *testing.T) {
+	cfg := lrscwait.Config{
+		Topo:   lrscwait.SmallTopology(),
+		Policy: lrscwait.PolicyColibri,
+	}
+	const iters = 50
+	b := lrscwait.NewProgram()
+	b.Li(lrscwait.A0, 0)
+	b.Li(lrscwait.S0, iters)
+	b.Label("loop")
+	b.LrWait(lrscwait.T0, lrscwait.A0)
+	b.Addi(lrscwait.T0, lrscwait.T0, 1)
+	b.ScWait(lrscwait.T1, lrscwait.T0, lrscwait.A0)
+	b.Bnez(lrscwait.T1, "loop")
+	b.Mark()
+	b.Addi(lrscwait.S0, lrscwait.S0, -1)
+	b.Bnez(lrscwait.S0, "loop")
+	b.Halt()
+
+	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(b.MustBuild()))
+	if !sys.RunUntilHalted(5_000_000) {
+		t.Fatal("did not halt")
+	}
+	n := cfg.Topo.NumCores()
+	if got := sys.ReadWord(0); got != uint32(n*iters) {
+		t.Errorf("counter = %d, want %d", got, n*iters)
+	}
+	act := sys.Snapshot()
+	if act.SleepCycles == 0 {
+		t.Error("no polling-free waiting recorded")
+	}
+}
+
+func TestFacadeHistogramHelpers(t *testing.T) {
+	cfg := lrscwait.Config{
+		Topo:   lrscwait.SmallTopology(),
+		Policy: lrscwait.PolicyColibri,
+	}
+	l := lrscwait.NewLayout(0)
+	lay := lrscwait.NewHistLayout(l, 8, cfg.Topo.NumCores())
+	prog := lrscwait.HistogramProgram(lrscwait.HistLRSCWait, lay, 128, 5)
+	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(prog))
+	if !sys.RunUntilHalted(2_000_000) {
+		t.Fatal("did not halt")
+	}
+	want := uint64(cfg.Topo.NumCores() * 5)
+	if got := lrscwait.HistogramSum(sys, lay); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestFacadeDisassemble(t *testing.T) {
+	b := lrscwait.NewProgram()
+	b.Label("x")
+	b.MWait(lrscwait.T0, lrscwait.Zero, lrscwait.A0)
+	b.Halt()
+	text := lrscwait.Disassemble(b.MustBuild())
+	if !strings.Contains(text, "mwait") || !strings.Contains(text, "x:") {
+		t.Errorf("disassembly missing content:\n%s", text)
+	}
+}
+
+func TestFacadeTableI(t *testing.T) {
+	rows := lrscwait.TableI(256)
+	if len(rows) == 0 {
+		t.Fatal("empty Table I")
+	}
+	base := rows[0].AreaKGE
+	for _, r := range rows[1:] {
+		if r.AreaKGE <= base {
+			t.Errorf("%s %s: no overhead over the base tile", r.Design, r.Params)
+		}
+	}
+}
+
+func TestFacadeStandardBins(t *testing.T) {
+	bins := lrscwait.StandardBins(lrscwait.MemPool256())
+	if bins[0] != 1 || bins[len(bins)-1] != 1024 {
+		t.Errorf("bins = %v", bins)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if lrscwait.MemPool256().NumCores() != 256 ||
+		lrscwait.MediumTopology().NumCores() != 64 ||
+		lrscwait.SmallTopology().NumCores() != 16 {
+		t.Error("topology core counts wrong")
+	}
+}
+
+func TestFacadeEnergyModel(t *testing.T) {
+	p := lrscwait.DefaultEnergy()
+	var a lrscwait.Activity
+	a.BusyCycles = 100
+	a.TotalOps = 10
+	if p.PerOpPJ(a) <= 0 {
+		t.Error("energy model returned nothing for busy work")
+	}
+}
