@@ -20,6 +20,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 )
 
 const (
@@ -152,6 +153,33 @@ func BenchmarkTableII(b *testing.B) {
 				pj = params.PerOpPJ(p.Activity)
 			}
 			b.ReportMetric(pj, "pJ/op")
+		})
+	}
+}
+
+// BenchmarkSweepEngine regenerates the Fig. 3 sweep through the
+// internal/sweep orchestration engine at one worker versus GOMAXPROCS
+// workers — the wall-clock ns/op ratio is the engine's parallel speedup
+// (simulation points are independent Systems, so it should approach the
+// host core count for large sweeps).
+func BenchmarkSweepEngine(b *testing.B) {
+	job := sweep.Job{Kind: sweep.Fig3, Topo: "medium",
+		Bins: []int{1, 16, 256}, Warmup: benchWarmup, Measure: benchMeasure}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			r := sweep.Runner{Workers: w.workers}
+			var st sweep.RunStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = r.Run(job)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Units), "points")
 		})
 	}
 }

@@ -1,7 +1,9 @@
 // Command area reproduces the paper's Table I: the silicon area of a
 // MemPool tile with the different LRSCwait designs, from the calibrated
 // component-count model, including the LRSCwait_ideal extrapolation that
-// shows why a full per-core queue per bank is physically infeasible.
+// shows why a full per-core queue per bank is physically infeasible. The
+// rows are evaluated through the internal/sweep engine so the table is
+// available to cmd/sweep's unified output as well.
 //
 // Usage:
 //
@@ -10,10 +12,8 @@ package main
 
 import (
 	"flag"
-	"fmt"
 
-	"repro/internal/area"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -21,20 +21,5 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 
-	rows := area.TableI(area.Default(), *cores)
-	t := stats.NewTable("Table I — area of a mempool_tile with different LRSCwait designs",
-		"architecture", "parameters", "model kGE", "model %", "paper kGE")
-	for _, r := range rows {
-		paper := "-"
-		if r.PaperKGE > 0 {
-			paper = stats.F(r.PaperKGE, 0)
-		}
-		t.Add(r.Design, r.Params, stats.F(r.AreaKGE, 1),
-			stats.F(100+r.OverheadP, 1), paper)
-	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	fmt.Print(t.String())
+	sweep.RunTool("area", sweep.Job{Kind: sweep.TableI, Cores: *cores}, 0, "off", *csv)
 }

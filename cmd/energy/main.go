@@ -1,51 +1,32 @@
 // Command energy reproduces the paper's Table II: average power and
 // energy per atomic operation at the highest contention level (histogram
 // with a single bin), from simulator activity counters and the calibrated
-// per-event energy model.
+// per-event energy model. The four rows run through the internal/sweep
+// engine (see -workers, -cache).
 //
 // Usage:
 //
 //	energy [-scale mempool|medium|small] [-csv] [-warmup N] [-measure N]
+//	       [-workers N] [-cache DIR|on|off]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
 
-	"repro/internal/energy"
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	warmup := flag.Int("warmup", 4000, "warm-up cycles before measurement")
-	measure := flag.Int("measure", 20000, "measured cycles")
+	warmup := flag.Int("warmup", sweep.DefaultTableIIWarmup, "warm-up cycles before measurement")
+	measure := flag.Int("measure", sweep.DefaultTableIIMeasure, "measured cycles")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (~/.cache/lrscwait) or \"off\" (default)")
 	flag.Parse()
 
-	topo, ok := experiments.TopoByName(*scale)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "energy: unknown scale %q\n", *scale)
-		os.Exit(2)
-	}
-	rows := experiments.TableII(topo, energy.Default(), *warmup, *measure)
-	t := stats.NewTable(fmt.Sprintf(
-		"Table II — energy per atomic access at highest contention (%d cores, 600 MHz)",
-		topo.NumCores()),
-		"atomic access", "backoff", "power (mW)", "energy (pJ/op)", "delta", "paper pJ/op")
-	for _, r := range rows {
-		delta := "±0%"
-		if r.DeltaPct != 0 {
-			delta = fmt.Sprintf("%+.0f%%", r.DeltaPct)
-		}
-		t.Add(r.Name, fmt.Sprint(r.Backoff), stats.F(r.PowerMW, 1),
-			stats.F(r.PJPerOp, 0), delta, stats.F(r.PaperPJ, 0))
-	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	fmt.Print(t.String())
+	sweep.RunTool("energy", sweep.Job{
+		Kind: sweep.TableII, Topo: *scale,
+		Warmup: sweep.ExplicitWindow(*warmup), Measure: sweep.ExplicitWindow(*measure),
+	}, *workers, *cacheFlag, *csv)
 }

@@ -1,77 +1,44 @@
 // Command histogram reproduces the paper's concurrent-histogram
 // experiments: Fig. 3 (throughput of the LRSCwait implementations and
 // standard atomics at varying contention) and, with -locks, Fig. 4
-// (throughput of the lock implementations).
+// (throughput of the lock implementations). The sweep runs through the
+// internal/sweep engine, so points fan out across -workers goroutines
+// and can be memoized with -cache.
 //
 // Usage:
 //
 //	histogram [-scale mempool|medium|small] [-locks] [-csv]
 //	          [-warmup N] [-measure N] [-bins 1,2,4,...]
+//	          [-workers N] [-cache DIR|on|off]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	locksFlag := flag.Bool("locks", false, "run the Fig. 4 lock comparison instead of Fig. 3")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	warmup := flag.Int("warmup", 3000, "warm-up cycles before measurement")
-	measure := flag.Int("measure", 10000, "measured cycles")
+	warmup := flag.Int("warmup", sweep.DefaultHistWarmup, "warm-up cycles before measurement")
+	measure := flag.Int("measure", sweep.DefaultHistMeasure, "measured cycles")
 	binsFlag := flag.String("bins", "", "comma-separated bin counts (default: paper sweep)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (~/.cache/lrscwait) or \"off\" (default)")
 	flag.Parse()
 
-	topo, ok := experiments.TopoByName(*scale)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "histogram: unknown scale %q\n", *scale)
-		os.Exit(2)
+	bins, err := sweep.ParseBins(*binsFlag)
+	if err != nil {
+		sweep.Fatal("histogram", err)
 	}
-	bins := experiments.StandardBins(topo)
-	if *binsFlag != "" {
-		bins = bins[:0]
-		for _, tok := range strings.Split(*binsFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || v <= 0 {
-				fmt.Fprintf(os.Stderr, "histogram: bad bin count %q\n", tok)
-				os.Exit(2)
-			}
-			bins = append(bins, v)
-		}
-	}
-
-	var series []experiments.HistSeries
-	title := "Fig. 3 — histogram updates/cycle vs #bins"
+	kind := sweep.Fig3
 	if *locksFlag {
-		series = experiments.Fig4(topo, bins, *warmup, *measure)
-		title = "Fig. 4 — lock implementations, histogram updates/cycle vs #bins"
-	} else {
-		series = experiments.Fig3(topo, bins, *warmup, *measure)
+		kind = sweep.Fig4
 	}
-
-	header := []string{"#bins"}
-	for _, s := range series {
-		header = append(header, s.Spec.Name)
-	}
-	t := stats.NewTable(fmt.Sprintf("%s (%d cores, warmup %d, measure %d)",
-		title, topo.NumCores(), *warmup, *measure), header...)
-	for i, nb := range bins {
-		row := []string{strconv.Itoa(nb)}
-		for _, s := range series {
-			row = append(row, stats.F(s.Points[i].Throughput, 4))
-		}
-		t.Add(row...)
-	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	fmt.Print(t.String())
+	sweep.RunTool("histogram", sweep.Job{
+		Kind: kind, Topo: *scale, Bins: bins,
+		Warmup: sweep.ExplicitWindow(*warmup), Measure: sweep.ExplicitWindow(*measure),
+	}, *workers, *cacheFlag, *csv)
 }

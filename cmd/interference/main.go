@@ -2,58 +2,34 @@
 // throughput of matrix-multiplication workers while the remaining cores
 // execute atomics on a small number of histogram bins. Colibri's sleeping
 // waiters leave the workers essentially untouched; LRSC's retry traffic
-// saturates the hot tile's paths and drags unrelated workers down.
+// saturates the hot tile's paths and drags unrelated workers down. The
+// sweep runs through the internal/sweep engine (see -workers, -cache).
 //
 // Usage:
 //
 //	interference [-scale mempool|medium|small] [-csv]
 //	             [-warmup N] [-measure N] [-matn N]
+//	             [-workers N] [-cache DIR|on|off]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
-	"strconv"
 
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	warmup := flag.Int("warmup", 4000, "warm-up cycles before measurement")
-	measure := flag.Int("measure", 20000, "measured cycles")
-	matN := flag.Int("matn", 128, "matrix dimension (>= worker count)")
+	warmup := flag.Int("warmup", sweep.DefaultFig5Warmup, "warm-up cycles before measurement")
+	measure := flag.Int("measure", sweep.DefaultFig5Measure, "measured cycles")
+	matN := flag.Int("matn", sweep.DefaultMatN, "matrix dimension (>= worker count)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (~/.cache/lrscwait) or \"off\" (default)")
 	flag.Parse()
 
-	topo, ok := experiments.TopoByName(*scale)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "interference: unknown scale %q\n", *scale)
-		os.Exit(2)
-	}
-	// The paper sweeps 1..16 bins for this figure.
-	bins := []int{1, 4, 8, 12, 16}
-	series := experiments.Fig5(topo, bins, *matN, *warmup, *measure)
-
-	header := []string{"#bins"}
-	for _, s := range series {
-		header = append(header, s.Name)
-	}
-	t := stats.NewTable(fmt.Sprintf(
-		"Fig. 5 — relative matmul throughput under atomics interference (%d cores)",
-		topo.NumCores()), header...)
-	for i, nb := range bins {
-		row := []string{strconv.Itoa(nb)}
-		for _, s := range series {
-			row = append(row, stats.F(s.Points[i].Rel, 3))
-		}
-		t.Add(row...)
-	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	fmt.Print(t.String())
+	sweep.RunTool("interference", sweep.Job{
+		Kind: sweep.Fig5, Topo: *scale, MatN: *matN,
+		Warmup: sweep.ExplicitWindow(*warmup), Measure: sweep.ExplicitWindow(*measure),
+	}, *workers, *cacheFlag, *csv)
 }

@@ -1,61 +1,37 @@
 // Command queuebench reproduces the paper's Fig. 6: concurrent-queue
 // accesses per cycle for a growing number of cores, with the per-core
 // fairness band (slowest/fastest core) that shows Colibri's balanced
-// service order against LRSC's retry lottery.
+// service order against LRSC's retry lottery. The sweep runs through the
+// internal/sweep engine (see -workers, -cache).
 //
 // Usage:
 //
 //	queuebench [-scale mempool|medium|small] [-csv] [-warmup N] [-measure N]
+//	           [-ms] [-workers N] [-cache DIR|on|off]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
-	"strconv"
 
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
 	scale := flag.String("scale", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	warmup := flag.Int("warmup", 3000, "warm-up cycles before measurement")
-	measure := flag.Int("measure", 12000, "measured cycles")
+	warmup := flag.Int("warmup", sweep.DefaultFig6Warmup, "warm-up cycles before measurement")
+	measure := flag.Int("measure", sweep.DefaultFig6Measure, "measured cycles")
 	ms := flag.Bool("ms", false, "use the linked Michael-Scott queue instead of the FAA ring")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (~/.cache/lrscwait) or \"off\" (default)")
 	flag.Parse()
 
-	topo, ok := experiments.TopoByName(*scale)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "queuebench: unknown scale %q\n", *scale)
-		os.Exit(2)
-	}
-	series := experiments.Fig6(topo, *warmup, *measure)
+	kind := sweep.Fig6
 	if *ms {
-		series = experiments.Fig6MS(topo, *warmup, *measure)
+		kind = sweep.Fig6MS
 	}
-
-	header := []string{"#cores"}
-	for _, s := range series {
-		header = append(header,
-			s.Spec.Name, s.Spec.Name+"-min", s.Spec.Name+"-max")
-	}
-	t := stats.NewTable(fmt.Sprintf(
-		"Fig. 6 — queue accesses/cycle vs #cores (%d-core system; min/max = per-core band)",
-		topo.NumCores()), header...)
-	for i := range series[0].Points {
-		row := []string{strconv.Itoa(series[0].Points[i].Cores)}
-		for _, s := range series {
-			p := s.Points[i]
-			row = append(row, stats.F(p.Throughput, 4),
-				stats.F(p.MinPerCore, 5), stats.F(p.MaxPerCore, 5))
-		}
-		t.Add(row...)
-	}
-	if *csv {
-		fmt.Print(t.CSV())
-		return
-	}
-	fmt.Print(t.String())
+	sweep.RunTool("queuebench", sweep.Job{
+		Kind: kind, Topo: *scale,
+		Warmup: sweep.ExplicitWindow(*warmup), Measure: sweep.ExplicitWindow(*measure),
+	}, *workers, *cacheFlag, *csv)
 }

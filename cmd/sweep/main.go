@@ -1,0 +1,185 @@
+// Command sweep regenerates any subset of the paper's figures and tables
+// in one parallel shot through the internal/sweep engine: every
+// independent simulation point of every selected experiment enters one
+// worker pool, finished points are memoized in a content-hash disk cache
+// (~/.cache/lrscwait by default), and results print as aligned tables,
+// RFC 4180 CSV, or deterministic JSON.
+//
+// Usage:
+//
+//	sweep [-fig 3,4,5,6] [-table 1,2] [-all] [-topo mempool|medium|small]
+//	      [-bins 1,2,4,...] [-warmup N] [-measure N] [-matn N] [-ms]
+//	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
+//	      [-csv] [-quiet]
+//
+// Examples:
+//
+//	sweep -all                       # full evaluation, paper scale
+//	sweep -fig 3 -topo small         # one figure, 16-core machine
+//	sweep -fig 3,4,5,6 -table 1,2 -topo medium -json out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+func fail(format string, args ...any) {
+	sweep.Fatal("sweep", fmt.Errorf(format, args...))
+}
+
+var figKinds = map[string]sweep.Kind{
+	"3": sweep.Fig3, "4": sweep.Fig4, "5": sweep.Fig5, "6": sweep.Fig6,
+}
+
+var tableKinds = map[string]sweep.Kind{
+	"1": sweep.TableI, "2": sweep.TableII,
+}
+
+// splitList parses a comma-separated selector like "3,4,6".
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(tok))
+	}
+	return out
+}
+
+func main() {
+	figs := flag.String("fig", "", "figures to regenerate (comma-separated subset of 3,4,5,6)")
+	tables := flag.String("table", "", "tables to regenerate (comma-separated subset of 1,2)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	topo := flag.String("topo", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
+	binsFlag := flag.String("bins", "", "bin counts for figs 3/4/5 (default: per-figure paper sweep)")
+	warmup := flag.Int("warmup", 0, "warm-up cycles (0 = per-experiment default, negative = literally zero)")
+	measure := flag.Int("measure", 0, "measured cycles (0 = per-experiment default, negative = literally zero)")
+	matN := flag.Int("matn", 0, "fig 5 matrix dimension (0 = default 128)")
+	ms := flag.Bool("ms", false, "fig 6 on the Michael-Scott queue instead of the FAA ring")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (default, ~/.cache/lrscwait) or \"off\"")
+	jsonDir := flag.String("json", "", "also write one deterministic <kind>.json per result into this directory")
+	csv := flag.Bool("csv", false, "emit CSV to stdout instead of an aligned table (single selection only)")
+	csvDir := flag.String("csvdir", "", "also write one <kind>.csv per result into this directory")
+	quiet := flag.Bool("quiet", false, "suppress progress and run statistics on stderr")
+	flag.Parse()
+
+	bins, err := sweep.ParseBins(*binsFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	figSel, tableSel := splitList(*figs), splitList(*tables)
+	if *all {
+		figSel, tableSel = []string{"3", "4", "5", "6"}, []string{"1", "2"}
+	}
+	if len(figSel) == 0 && len(tableSel) == 0 {
+		fail("nothing selected; use -fig, -table or -all (see -help)")
+	}
+
+	var jobs []sweep.Job
+	addJob := func(kind sweep.Kind) {
+		job := sweep.Job{Kind: kind, Topo: *topo, Warmup: *warmup, Measure: *measure}
+		switch kind {
+		case sweep.Fig3, sweep.Fig4:
+			job.Bins = bins
+		case sweep.Fig5:
+			job.Bins = bins
+			job.MatN = *matN
+		}
+		jobs = append(jobs, job)
+	}
+	for _, f := range figSel {
+		kind, ok := figKinds[f]
+		if !ok {
+			fail("unknown figure %q (have 3,4,5,6)", f)
+		}
+		if kind == sweep.Fig6 && *ms {
+			kind = sweep.Fig6MS
+		}
+		addJob(kind)
+	}
+	for _, tb := range tableSel {
+		kind, ok := tableKinds[tb]
+		if !ok {
+			fail("unknown table %q (have 1,2)", tb)
+		}
+		addJob(kind)
+	}
+
+	if *csv && len(jobs) > 1 {
+		// Concatenated CSV tables with different headers don't parse;
+		// write one file per result instead.
+		fail("-csv emits a single table; use -csvdir DIR with multiple selections")
+	}
+	// Validate output locations before burning potentially hours of
+	// simulation whose results they are meant to receive.
+	for _, dir := range []string{*jsonDir, *csvDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+
+	cache, err := sweep.OpenCacheFlag(*cacheFlag, true)
+	if err != nil {
+		if *cacheFlag != "" {
+			// The user asked for this cache location; failing it is an error.
+			fail("%v", err)
+		}
+		// The default cache is a convenience: degrade to an uncached run
+		// (e.g. no writable home directory) rather than refusing to sweep.
+		fmt.Fprintf(os.Stderr, "sweep: cache disabled: %v\n", err)
+		cache = nil
+	}
+	runner := sweep.Runner{Workers: *workers, Cache: cache}
+	var flush func()
+	if !*quiet {
+		runner.Progress, flush = sweep.ProgressPrinter(os.Stderr)
+	}
+	results, st, err := runner.RunAll(jobs)
+	if flush != nil {
+		flush()
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	for i, res := range results {
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(res.Table().String())
+		}
+		if *jsonDir != "" {
+			b, err := res.JSON()
+			if err != nil {
+				fail("%v", err)
+			}
+			path := filepath.Join(*jsonDir, string(res.Job.Kind)+".json")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, string(res.Job.Kind)+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "sweep: "+st.Summary())
+	}
+}

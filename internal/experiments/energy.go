@@ -5,6 +5,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep/work"
 )
 
 // Table II: energy per atomic operation at the highest contention level
@@ -30,6 +31,9 @@ func TableIISpecs() []HistSpec {
 	}
 }
 
+// TableIIFreqMHz is the clock the paper reports average power at.
+const TableIIFreqMHz = 600
+
 var tableIIPaper = map[string]struct {
 	backoff int
 	pj      float64
@@ -40,30 +44,47 @@ var tableIIPaper = map[string]struct {
 	"amoadd-lock": {128, 1092},
 }
 
-// TableII measures energy per operation for the four designs at bins=1.
-func TableII(topo noc.Topology, params energy.Params, warmup, measure int) []EnergyRow {
-	const freqMHz = 600
-	rows := make([]EnergyRow, 0, 4)
+// TableIIRow measures one Table II line: the spec's histogram at bins=1
+// plus the published reference values. DeltaPct is left zero — it is
+// relative to the colibri row, so it can only be filled once all rows
+// exist (TableIIDelta). Both the serial TableII and the sweep engine
+// build their rows through here, so the formula lives in one place.
+func TableIIRow(spec HistSpec, topo noc.Topology, params energy.Params, warmup, measure int) EnergyRow {
+	p := RunHistogramPoint(spec, topo, 1, warmup, measure)
+	ref := tableIIPaper[spec.Name]
+	return EnergyRow{
+		Name:    spec.Name,
+		Backoff: ref.backoff,
+		PowerMW: params.PowerMW(p.Activity, TableIIFreqMHz),
+		PJPerOp: params.PerOpPJ(p.Activity),
+		PaperPJ: ref.pj,
+	}
+}
+
+// TableIIDelta fills each row's DeltaPct relative to the colibri row, as
+// the paper reports.
+func TableIIDelta(rows []EnergyRow) {
 	var colibriPJ float64
-	for _, spec := range TableIISpecs() {
-		p := RunHistogramPoint(spec, topo, 1, warmup, measure)
-		ref := tableIIPaper[spec.Name]
-		row := EnergyRow{
-			Name:    spec.Name,
-			Backoff: ref.backoff,
-			PowerMW: params.PowerMW(p.Activity, freqMHz),
-			PJPerOp: params.PerOpPJ(p.Activity),
-			PaperPJ: ref.pj,
+	for _, r := range rows {
+		if r.Name == "colibri" {
+			colibriPJ = r.PJPerOp
 		}
-		if spec.Name == "colibri" {
-			colibriPJ = row.PJPerOp
-		}
-		rows = append(rows, row)
 	}
 	for i := range rows {
 		if colibriPJ > 0 {
 			rows[i].DeltaPct = (rows[i].PJPerOp/colibriPJ - 1) * 100
 		}
 	}
+}
+
+// TableII measures energy per operation for the four designs at bins=1,
+// fanning the rows out across the sweep engine's worker pool.
+func TableII(topo noc.Topology, params energy.Params, warmup, measure int) []EnergyRow {
+	specs := TableIISpecs()
+	rows := make([]EnergyRow, len(specs))
+	work.Parallel().Map(len(specs), func(i int) {
+		rows[i] = TableIIRow(specs[i], topo, params, warmup, measure)
+	})
+	TableIIDelta(rows)
 	return rows
 }

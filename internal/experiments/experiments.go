@@ -2,6 +2,12 @@
 // evaluation (Section V). Each experiment is parameterized by topology so
 // the same code runs the paper-scale 256-core sweeps (cmd tools) and
 // reduced configurations (unit tests, testing.B benchmarks).
+//
+// The figure/table entry points fan their independent simulation points
+// out across GOMAXPROCS goroutines (one live platform.System per
+// worker); bound peak memory by lowering GOMAXPROCS, or use the
+// internal/sweep engine, whose Runner exposes a Workers knob plus
+// caching.
 package experiments
 
 import (
@@ -10,6 +16,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep/work"
 )
 
 // DefaultBackoff is the paper's retry/spin backoff of 128 cycles.
@@ -107,31 +114,33 @@ func RunHistogramPoint(spec HistSpec, topo noc.Topology, bins, warmup, measure i
 	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
 }
 
-// RunHistogramSweep measures a full curve across bin counts.
+// RunHistogramSweep measures a full curve across bin counts. Points are
+// independent systems, so they fan out across the sweep engine's worker
+// pool; results are placed by index and stay deterministic.
 func RunHistogramSweep(spec HistSpec, topo noc.Topology, bins []int, warmup, measure int) HistSeries {
-	s := HistSeries{Spec: spec}
-	for _, nb := range bins {
-		s.Points = append(s.Points, RunHistogramPoint(spec, topo, nb, warmup, measure))
+	return histSweep([]HistSpec{spec}, topo, bins, warmup, measure)[0]
+}
+
+// histSweep fans every (spec, bins) point of a figure out in one pool.
+func histSweep(specs []HistSpec, topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
+	out := make([]HistSeries, len(specs))
+	for i, spec := range specs {
+		out[i] = HistSeries{Spec: spec, Points: make([]HistPoint, len(bins))}
 	}
-	return s
+	work.Parallel().Map2D(len(specs), len(bins), func(si, bi int) {
+		out[si].Points[bi] = RunHistogramPoint(specs[si], topo, bins[bi], warmup, measure)
+	})
+	return out
 }
 
 // Fig3 runs the throughput-vs-contention sweep for all Fig. 3 curves.
 func Fig3(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
-	var out []HistSeries
-	for _, spec := range Fig3Specs(topo.NumCores()) {
-		out = append(out, RunHistogramSweep(spec, topo, bins, warmup, measure))
-	}
-	return out
+	return histSweep(Fig3Specs(topo.NumCores()), topo, bins, warmup, measure)
 }
 
 // Fig4 runs the lock-comparison sweep for all Fig. 4 curves.
 func Fig4(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
-	var out []HistSeries
-	for _, spec := range Fig4Specs() {
-		out = append(out, RunHistogramSweep(spec, topo, bins, warmup, measure))
-	}
-	return out
+	return histSweep(Fig4Specs(), topo, bins, warmup, measure)
 }
 
 // TopoByName maps a scale name to a topology: "mempool" (256 cores, the

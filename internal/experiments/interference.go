@@ -5,6 +5,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep/work"
 )
 
 // Fig. 5: matrix-multiplication workers sharing the machine with cores
@@ -128,31 +129,45 @@ func RunInterferencePoint(spec HistSpec, topo noc.Topology, ratio InterferenceRa
 	return InterferencePoint{Bins: bins, Rel: rel, BaselineOps: baseline, LoadedOps: loadedTP}
 }
 
-// Fig5 reproduces the full interference figure: the Colibri curve at the
-// most extreme ratio plus LRSC at every ratio, swept over bin counts.
-func Fig5(topo noc.Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
-	nCores := topo.NumCores()
+// Fig5Curve names one curve of Fig. 5: a histogram spec pinned to a
+// poller:worker split.
+type Fig5Curve struct {
+	Name  string
+	Spec  HistSpec
+	Ratio InterferenceRatio
+}
+
+// Fig5Curves returns the figure's curve set for an nCores machine: the
+// Colibri curve at the most extreme ratio plus LRSC at every ratio.
+func Fig5Curves(nCores int) []Fig5Curve {
 	ratios := PaperRatios(nCores)
 	colibri := HistSpec{Name: "colibri", Variant: kernels.HistLRSCWait, Policy: platform.PolicyColibri}
 	lrsc := HistSpec{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle}
 
-	var out []InterferenceSeries
-	run := func(spec HistSpec, ratio InterferenceRatio) {
-		s := InterferenceSeries{
-			Name:  ratioName(spec.Name, ratio),
-			Spec:  spec,
-			Ratio: ratio,
-		}
-		for _, nb := range bins {
-			s.Points = append(s.Points,
-				RunInterferencePoint(spec, topo, ratio, nb, matN, warmup, measure))
-		}
-		out = append(out, s)
-	}
-	run(colibri, ratios[len(ratios)-1]) // Colibri at the harshest split
+	curves := []Fig5Curve{{ // Colibri at the harshest split
+		Name: ratioName(colibri.Name, ratios[len(ratios)-1]),
+		Spec: colibri, Ratio: ratios[len(ratios)-1],
+	}}
 	for _, r := range ratios {
-		run(lrsc, r)
+		curves = append(curves, Fig5Curve{Name: ratioName(lrsc.Name, r), Spec: lrsc, Ratio: r})
 	}
+	return curves
+}
+
+// Fig5 reproduces the full interference figure, fanning every
+// (curve, bins) point out across the sweep engine's worker pool.
+func Fig5(topo noc.Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
+	curves := Fig5Curves(topo.NumCores())
+	out := make([]InterferenceSeries, len(curves))
+	for i, c := range curves {
+		out[i] = InterferenceSeries{Name: c.Name, Spec: c.Spec, Ratio: c.Ratio,
+			Points: make([]InterferencePoint, len(bins))}
+	}
+	work.Parallel().Map2D(len(curves), len(bins), func(si, bi int) {
+		c := curves[si]
+		out[si].Points[bi] = RunInterferencePoint(c.Spec, topo, c.Ratio,
+			bins[bi], matN, warmup, measure)
+	})
 	return out
 }
 

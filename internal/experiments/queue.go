@@ -5,6 +5,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep/work"
 )
 
 // Fig. 6: concurrent-queue throughput and fairness as the number of
@@ -118,18 +119,24 @@ func Fig6MS(topo noc.Topology, warmup, measure int) []QueueSeries {
 	return fig6With(Fig6MSSpecs(), topo, warmup, measure)
 }
 
-func fig6With(specs []QueueSpec, topo noc.Topology, warmup, measure int) []QueueSeries {
+// Fig6Counts returns the swept active-core counts: powers of two up to
+// the topology's core count.
+func Fig6Counts(topo noc.Topology) []int {
 	var counts []int
 	for n := 1; n <= topo.NumCores(); n *= 2 {
 		counts = append(counts, n)
 	}
-	var out []QueueSeries
-	for _, spec := range specs {
-		s := QueueSeries{Spec: spec}
-		for _, n := range counts {
-			s.Points = append(s.Points, RunQueuePoint(spec, topo, n, warmup, measure))
-		}
-		out = append(out, s)
+	return counts
+}
+
+func fig6With(specs []QueueSpec, topo noc.Topology, warmup, measure int) []QueueSeries {
+	counts := Fig6Counts(topo)
+	out := make([]QueueSeries, len(specs))
+	for i, spec := range specs {
+		out[i] = QueueSeries{Spec: spec, Points: make([]QueuePoint, len(counts))}
 	}
+	work.Parallel().Map2D(len(specs), len(counts), func(si, ci int) {
+		out[si].Points[ci] = RunQueuePoint(specs[si], topo, counts[ci], warmup, measure)
+	})
 	return out
 }

@@ -73,15 +73,33 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// CSV renders the table as comma-separated values (no escaping needed for
-// the numeric content these tables hold).
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, quotes or line breaks are quoted, with embedded
+// quotes doubled, so the output loads in standard CSV parsers.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString(strings.Join(t.Header, ",") + "\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvCell(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
 	for _, row := range t.Rows {
-		sb.WriteString(strings.Join(row, ",") + "\n")
+		writeRow(row)
 	}
 	return sb.String()
+}
+
+// csvCell quotes a cell when RFC 4180 requires it.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
 
 // F formats a float with the given number of decimals.

@@ -54,6 +54,26 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.Add("a,b", `says "hi"`)
+	tb.Add("plain", "line\nbreak")
+	want := "name,note\n" +
+		`"a,b","says ""hi"""` + "\n" +
+		"plain,\"line\nbreak\"\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVQuotedHeader(t *testing.T) {
+	tb := NewTable("", "a,b", "c")
+	tb.Add("1", "2")
+	if got := tb.CSV(); got != "\"a,b\",c\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
 func TestF(t *testing.T) {
 	if F(3.14159, 2) != "3.14" || F(1, 0) != "1" {
 		t.Error("F formatting wrong")

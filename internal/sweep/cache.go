@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// binaryFingerprint hashes the running executable, once per process.
+// Folding it into every cache key means a rebuilt simulator (any code
+// change) starts from a cold cache automatically — correctness never
+// depends on remembering to bump cacheVersion, which remains for
+// invalidating the on-disk format itself. The tradeoff: differently
+// built binaries (e.g. cmd/histogram vs cmd/sweep) keep separate cache
+// namespaces, and superseded entries linger until the directory is
+// deleted. When the binary cannot be read the fingerprint is empty and
+// the engine disables caching for the process (see Job.keyPrefix) —
+// running fresh is always safe, serving stale never is.
+var binaryFingerprint = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return ""
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+})
+
+// Cache memoizes finished sweep points on disk, keyed by the
+// content hash of everything that determines a point's value (simulator
+// version, experiment kind, topology shape, spec, coordinate, windows).
+// Entries are immutable JSON files; concurrent writers of the same key
+// race benignly to an identical value via atomic rename.
+type Cache struct {
+	dir string
+}
+
+// DefaultDir returns the user-level cache root (~/.cache/lrscwait on
+// Linux, the platform cache dir elsewhere).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("sweep: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "lrscwait"), nil
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir. An empty
+// dir selects DefaultDir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultDir(); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk format. The full key is stored alongside the
+// point so hash collisions degrade to a miss, never a wrong value.
+type entry struct {
+	Key   string `json:"key"`
+	Point Point  `json:"point"`
+}
+
+// path maps a key to its file: <dir>/<hh>/<hash>.json, sharded by the
+// first hash byte to keep directories small.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, h[:2], h+".json")
+}
+
+// Get loads the point cached under key; ok is false on miss, corruption,
+// or key mismatch.
+func (c *Cache) Get(key string) (Point, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Point{}, false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil || e.Key != key {
+		return Point{}, false
+	}
+	return e.Point, true
+}
+
+// Put stores a point under key. Writes go through a same-directory temp
+// file and rename, so readers never observe a torn entry.
+func (c *Cache) Put(key string, p Point) error {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(entry{Key: key, Point: p})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Shared plumbing for the cmd/ front ends, so the six tools parse flags
+// and report progress identically.
+
+// ParseBins parses a comma-separated list of positive bin counts.
+func ParseBins(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var bins []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad bin count %q", tok)
+		}
+		bins = append(bins, v)
+	}
+	return bins, nil
+}
+
+// OpenCacheFlag resolves a -cache flag value: "off"/"none" disables
+// caching, "on"/"default" selects the user cache dir, "" follows the
+// tool's default (defaultOn), and anything else is a directory path.
+func OpenCacheFlag(v string, defaultOn bool) (*Cache, error) {
+	switch v {
+	case "off", "none":
+		return nil, nil
+	case "":
+		if !defaultOn {
+			return nil, nil
+		}
+		return OpenCache("")
+	case "on", "default":
+		return OpenCache("")
+	default:
+		return OpenCache(v)
+	}
+}
+
+// Fatal prints a tool-prefixed error to stderr and exits 2. Engine
+// errors already carry the "sweep: " package prefix; it is stripped so
+// every front end reports "tool: message" uniformly.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, strings.TrimPrefix(err.Error(), "sweep: "))
+	os.Exit(2)
+}
+
+// RunTool is the shared tail of the legacy per-figure front ends: open
+// the cache per flag (default off), run the single job, and print the
+// result as an aligned table or CSV.
+func RunTool(tool string, job Job, workers int, cacheFlag string, csv bool) {
+	cache, err := OpenCacheFlag(cacheFlag, false)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	r := Runner{Workers: workers, Cache: cache}
+	res, _, err := r.Run(job)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Print(res.Table().String())
+}
+
+// ExplicitWindow maps a legacy tool's -warmup/-measure flag value to the
+// Job convention. Those flags always carry explicit values (their flag
+// defaults are the per-kind defaults), so 0 means a literal zero-cycle
+// window, which Job encodes as negative.
+func ExplicitWindow(v int) int {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+// ProgressPrinter returns a Progress callback that live-updates a status
+// line on w (intended for a terminal's stderr). The callback is safe for
+// concurrent use; call the returned flush once the run is done to
+// terminate the line.
+func ProgressPrinter(w io.Writer) (progress func(Event), flush func()) {
+	var mu sync.Mutex
+	maxDone, cached, wrote := 0, 0, false
+	return func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Cached {
+				cached++
+			}
+			if ev.Done > maxDone {
+				maxDone = ev.Done
+			}
+			// Always reprint at the high-water count so a cached
+			// straggler's increment still reaches the final line.
+			wrote = true
+			fmt.Fprintf(w, "\rsweep: %d/%d points (%d cached)", maxDone, ev.Total, cached)
+		}, func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if wrote {
+				fmt.Fprintln(w)
+			}
+		}
+}
+
+// Summary formats the run statistics for the tools' stderr reporting.
+func (st RunStats) Summary() string {
+	return fmt.Sprintf("%d points: %d simulated, %d cached in %v",
+		st.Units, st.Executed, st.CacheHits, st.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// Point is one sweep measurement. It is a union across experiment kinds:
+// figure sweeps fill X plus the throughput/interference fields, table
+// rows fill Label plus the model fields. Zero-valued fields are omitted
+// from JSON, so every kind serializes only what it measures.
+type Point struct {
+	// X is the swept coordinate: bin count (fig3/4/5), active core
+	// count (fig6), or row index (tables).
+	X     int    `json:"x"`
+	Label string `json:"label,omitempty"` // table row name
+
+	// Histogram / queue throughput (fig3, fig4, fig6).
+	Throughput float64 `json:"throughput,omitempty"`
+	MinPerCore float64 `json:"minPerCore,omitempty"`
+	MaxPerCore float64 `json:"maxPerCore,omitempty"`
+
+	// Interference (fig5).
+	Rel         float64 `json:"rel,omitempty"`
+	BaselineOps float64 `json:"baselineOps,omitempty"`
+	LoadedOps   float64 `json:"loadedOps,omitempty"`
+
+	// Energy (table2).
+	Backoff  int     `json:"backoff,omitempty"`
+	PowerMW  float64 `json:"powerMW,omitempty"`
+	PJPerOp  float64 `json:"pjPerOp,omitempty"`
+	DeltaPct float64 `json:"deltaPct,omitempty"`
+	PaperPJ  float64 `json:"paperPJ,omitempty"`
+
+	// Area (table1).
+	Params      string  `json:"params,omitempty"`
+	AreaKGE     float64 `json:"areaKGE,omitempty"`
+	OverheadPct float64 `json:"overheadPct,omitempty"`
+	PaperKGE    float64 `json:"paperKGE,omitempty"`
+}
+
+// Series is one curve (or one whole table, for the table kinds).
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Result is the assembled output of one Job. Its JSON encoding is
+// deterministic: the job is normalized, series and point order are fixed
+// by the job spec, and no run-dependent data (timing, cache statistics)
+// is included.
+type Result struct {
+	Job    Job      `json:"job"`
+	Cores  int      `json:"cores"`
+	Series []Series `json:"series"`
+}
+
+// JSON renders the result as indented, deterministic JSON.
+func (r *Result) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Table renders the result in the layout of the original per-figure cmd
+// tool, so `cmd/sweep -fig 3` prints what `cmd/histogram` always printed.
+func (r *Result) Table() *stats.Table {
+	switch r.Job.Kind {
+	case Fig3, Fig4:
+		title := "Fig. 3 — histogram updates/cycle vs #bins"
+		if r.Job.Kind == Fig4 {
+			title = "Fig. 4 — lock implementations, histogram updates/cycle vs #bins"
+		}
+		header := []string{"#bins"}
+		for _, s := range r.Series {
+			header = append(header, s.Name)
+		}
+		t := stats.NewTable(fmt.Sprintf("%s (%d cores, warmup %d, measure %d)",
+			title, r.Cores, window(r.Job.Warmup), window(r.Job.Measure)), header...)
+		for i, bins := range r.Job.Bins {
+			row := []string{strconv.Itoa(bins)}
+			for _, s := range r.Series {
+				row = append(row, stats.F(s.Points[i].Throughput, 4))
+			}
+			t.Add(row...)
+		}
+		return t
+	case Fig5:
+		header := []string{"#bins"}
+		for _, s := range r.Series {
+			header = append(header, s.Name)
+		}
+		t := stats.NewTable(fmt.Sprintf(
+			"Fig. 5 — relative matmul throughput under atomics interference (%d cores)",
+			r.Cores), header...)
+		for i, bins := range r.Job.Bins {
+			row := []string{strconv.Itoa(bins)}
+			for _, s := range r.Series {
+				row = append(row, stats.F(s.Points[i].Rel, 3))
+			}
+			t.Add(row...)
+		}
+		return t
+	case Fig6, Fig6MS:
+		header := []string{"#cores"}
+		for _, s := range r.Series {
+			header = append(header, s.Name, s.Name+"-min", s.Name+"-max")
+		}
+		t := stats.NewTable(fmt.Sprintf(
+			"Fig. 6 — queue accesses/cycle vs #cores (%d-core system; min/max = per-core band)",
+			r.Cores), header...)
+		if len(r.Series) == 0 {
+			return t
+		}
+		for i := range r.Series[0].Points {
+			row := []string{strconv.Itoa(r.Series[0].Points[i].X)}
+			for _, s := range r.Series {
+				p := s.Points[i]
+				row = append(row, stats.F(p.Throughput, 4),
+					stats.F(p.MinPerCore, 5), stats.F(p.MaxPerCore, 5))
+			}
+			t.Add(row...)
+		}
+		return t
+	case TableI:
+		t := stats.NewTable("Table I — area of a mempool_tile with different LRSCwait designs",
+			"architecture", "parameters", "model kGE", "model %", "paper kGE")
+		for _, p := range r.points() {
+			paper := "-"
+			if p.PaperKGE > 0 {
+				paper = stats.F(p.PaperKGE, 0)
+			}
+			t.Add(p.Label, p.Params, stats.F(p.AreaKGE, 1),
+				stats.F(100+p.OverheadPct, 1), paper)
+		}
+		return t
+	case TableII:
+		t := stats.NewTable(fmt.Sprintf(
+			"Table II — energy per atomic access at highest contention (%d cores, %d MHz)",
+			r.Cores, experiments.TableIIFreqMHz),
+			"atomic access", "backoff", "power (mW)", "energy (pJ/op)", "delta", "paper pJ/op")
+		for _, p := range r.points() {
+			delta := "±0%"
+			if p.DeltaPct != 0 {
+				delta = fmt.Sprintf("%+.0f%%", p.DeltaPct)
+			}
+			t.Add(p.Label, strconv.Itoa(p.Backoff), stats.F(p.PowerMW, 1),
+				stats.F(p.PJPerOp, 0), delta, stats.F(p.PaperPJ, 0))
+		}
+		return t
+	}
+	return stats.NewTable(string(r.Job.Kind))
+}
+
+// points returns the single series of a table-kind result (empty when
+// the result holds none).
+func (r *Result) points() []Point {
+	if len(r.Series) == 0 {
+		return nil
+	}
+	return r.Series[0].Points
+}
+
+// CSV renders the result's table as RFC 4180 CSV.
+func (r *Result) CSV() string { return r.Table().CSV() }

@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep/work"
+)
+
+// Event reports one finished sweep point to the Progress callback.
+type Event struct {
+	Done, Total int
+	Kind        Kind
+	Cached      bool // served from the cache, no simulation ran
+}
+
+// RunStats summarizes a Run/RunAll invocation. It is reported out of
+// band (never part of a Result) so result JSON stays run-independent.
+type RunStats struct {
+	Units     int // distinct work units (identical points across jobs collapse)
+	Executed  int // simulations executed this run
+	CacheHits int // units served from the cache
+	Elapsed   time.Duration
+}
+
+// Runner fans sweep jobs out across a worker pool with optional point
+// caching and live progress reporting.
+type Runner struct {
+	// Workers is the concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Cache memoizes points when non-nil.
+	Cache *Cache
+	// Progress, when non-nil, is invoked once per finished point. It may
+	// be called concurrently from worker goroutines.
+	Progress func(Event)
+}
+
+// Run executes one job. See RunAll.
+func (r *Runner) Run(job Job) (*Result, RunStats, error) {
+	results, st, err := r.RunAll([]Job{job})
+	if err != nil {
+		return nil, st, err
+	}
+	return results[0], st, nil
+}
+
+// RunAll executes any number of jobs in one shot: every independent
+// point of every job enters a single worker pool, so a multi-figure
+// sweep keeps all cores busy even while individual figures drain.
+// Results are assembled in job order with engine-defined series/point
+// order — output never depends on scheduling.
+func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
+	start := time.Now()
+	results := make([]*Result, len(jobs))
+	// Identical points across jobs (same non-empty cache key) collapse
+	// into one unit with several placements, so duplicated selections
+	// never simulate the same point twice.
+	type placement struct {
+		job, si, pi int
+	}
+	type flatUnit struct {
+		key    string
+		sim    bool
+		run    func() Point
+		places []placement
+	}
+	var units []*flatUnit
+	byKey := map[string]*flatUnit{}
+	for ji, job := range jobs {
+		norm, err := job.Normalize()
+		if err != nil {
+			return nil, RunStats{}, err
+		}
+		topo, series, jobUnits, err := expand(norm)
+		if err != nil {
+			return nil, RunStats{}, err
+		}
+		results[ji] = &Result{Job: norm, Cores: topo.NumCores(), Series: series}
+		for _, u := range jobUnits {
+			at := placement{job: ji, si: u.si, pi: u.pi}
+			if u.key != "" {
+				if fu, ok := byKey[u.key]; ok {
+					fu.places = append(fu.places, at)
+					continue
+				}
+			}
+			fu := &flatUnit{key: u.key, sim: u.sim, run: u.run, places: []placement{at}}
+			units = append(units, fu)
+			if u.key != "" {
+				byKey[u.key] = fu
+			}
+		}
+	}
+
+	var done, executed, hits atomic.Int64
+	work.Pool{Workers: r.Workers}.Map(len(units), func(i int) {
+		u := units[i]
+		var p Point
+		cached := false
+		if r.Cache != nil && u.key != "" {
+			p, cached = r.Cache.Get(u.key)
+		}
+		if !cached {
+			p = u.run()
+			if u.sim {
+				executed.Add(1)
+			}
+			if r.Cache != nil && u.key != "" {
+				// Best-effort: a failed write only costs a future re-run.
+				_ = r.Cache.Put(u.key, p)
+			}
+		} else {
+			hits.Add(1)
+		}
+		for _, at := range u.places {
+			results[at.job].Series[at.si].Points[at.pi] = p
+		}
+		if r.Progress != nil {
+			r.Progress(Event{
+				Done:   int(done.Add(1)),
+				Total:  len(units),
+				Kind:   results[u.places[0].job].Job.Kind,
+				Cached: cached,
+			})
+		}
+	})
+
+	for _, res := range results {
+		finalize(res)
+	}
+	st := RunStats{
+		Units:     len(units),
+		Executed:  int(executed.Load()),
+		CacheHits: int(hits.Load()),
+		Elapsed:   time.Since(start),
+	}
+	return results, st, nil
+}

@@ -1,0 +1,308 @@
+// Package sweep is the parallel sweep orchestration engine: it turns a
+// declarative Job (experiment kind × topology × parameters) into the set
+// of independent simulation points behind the paper's figures and tables,
+// fans those points out across a worker pool (every point is its own
+// deterministic platform.System), memoizes finished points in a
+// content-hash disk cache, and assembles structured Results with JSON,
+// CSV and aligned-table emitters.
+//
+// The engine guarantees deterministic output: results are placed by
+// index, never by completion order, so a sweep run on one worker is
+// byte-identical (as JSON) to the same sweep on many workers, and a
+// warm-cache re-run executes zero simulations.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/noc"
+)
+
+// Kind names one experiment of the paper's evaluation.
+type Kind string
+
+// The experiment kinds the engine can sweep.
+const (
+	Fig3    Kind = "fig3"   // histogram throughput vs contention
+	Fig4    Kind = "fig4"   // lock implementations vs contention
+	Fig5    Kind = "fig5"   // matmul interference under atomics load
+	Fig6    Kind = "fig6"   // queue scaling on the FAA ring
+	Fig6MS  Kind = "fig6ms" // queue scaling on the Michael-Scott queue
+	TableI  Kind = "table1" // tile area model
+	TableII Kind = "table2" // energy per atomic access
+)
+
+// Kinds lists every experiment kind in presentation order.
+func Kinds() []Kind {
+	return []Kind{Fig3, Fig4, Fig5, Fig6, Fig6MS, TableI, TableII}
+}
+
+// cacheVersion invalidates every cached point when the simulator or the
+// calibrated models change incompatibly.
+const cacheVersion = "v1"
+
+// Per-kind default simulation parameters, shared by Job.Normalize and
+// the legacy cmd tools' flag defaults so the two paths cannot drift.
+const (
+	DefaultHistWarmup, DefaultHistMeasure       = 3000, 10000 // fig3, fig4
+	DefaultFig5Warmup, DefaultFig5Measure       = 4000, 20000
+	DefaultFig6Warmup, DefaultFig6Measure       = 3000, 12000
+	DefaultTableIIWarmup, DefaultTableIIMeasure = 4000, 20000
+	DefaultMatN                                 = 128
+)
+
+// Job is a declarative sweep specification. Zero-valued fields select the
+// per-kind defaults of the original cmd tools (see Normalize).
+type Job struct {
+	Kind Kind   `json:"kind"`
+	Topo string `json:"topo"` // experiments.TopoByName key; default "mempool"
+
+	// Bins overrides the swept histogram bin counts (fig3, fig4, fig5).
+	Bins []int `json:"bins,omitempty"`
+	// Warmup and Measure are the simulation windows in cycles. Zero
+	// selects the per-kind default; a negative value requests a literal
+	// zero-cycle window (the same convention as HistSpec.Backoff).
+	Warmup  int `json:"warmup"`
+	Measure int `json:"measure"`
+	// MatN is the fig5 matrix dimension (>= worker count).
+	MatN int `json:"matn,omitempty"`
+	// Cores is the table1 ideal-queue extrapolation core count.
+	Cores int `json:"cores,omitempty"`
+}
+
+// Normalize fills per-kind defaults (matching the historical cmd tools)
+// and validates the job. The returned job is what keys the cache and is
+// recorded in the Result, so two specs that normalize identically share
+// cached points.
+func (j Job) Normalize() (Job, error) {
+	if j.Topo == "" {
+		j.Topo = "mempool"
+	}
+	topo, ok := experiments.TopoByName(j.Topo)
+	if !ok {
+		return j, fmt.Errorf("sweep: unknown topology %q", j.Topo)
+	}
+	windows := func(warmup, measure int) {
+		if j.Warmup == 0 {
+			j.Warmup = warmup
+		}
+		if j.Measure == 0 {
+			j.Measure = measure
+		}
+	}
+	switch j.Kind {
+	case Fig3, Fig4:
+		windows(DefaultHistWarmup, DefaultHistMeasure)
+		if len(j.Bins) == 0 {
+			j.Bins = experiments.StandardBins(topo)
+		}
+	case Fig5:
+		windows(DefaultFig5Warmup, DefaultFig5Measure)
+		if len(j.Bins) == 0 {
+			j.Bins = []int{1, 4, 8, 12, 16}
+		}
+		if j.MatN == 0 {
+			j.MatN = DefaultMatN
+		}
+	case Fig6, Fig6MS:
+		windows(DefaultFig6Warmup, DefaultFig6Measure)
+	case TableI:
+		if j.Cores == 0 {
+			j.Cores = topo.NumCores()
+		}
+	case TableII:
+		windows(DefaultTableIIWarmup, DefaultTableIIMeasure)
+	default:
+		return j, fmt.Errorf("sweep: unknown kind %q", j.Kind)
+	}
+	for _, b := range j.Bins {
+		if b <= 0 {
+			return j, fmt.Errorf("sweep: bad bin count %d", b)
+		}
+	}
+	return j, nil
+}
+
+// unit is one independent point of a sweep: where its result goes
+// (series/point index), its cache identity, whether computing it runs a
+// simulation (tables of pure model arithmetic don't), and how to compute
+// it. Units with an empty key are never cached.
+type unit struct {
+	si, pi int
+	key    string
+	sim    bool
+	run    func() Point
+}
+
+// keyPrefix canonicalizes everything every unit of the job shares. The
+// topology is keyed by its full shape (per-tile and per-group structure,
+// not just totals — grouping changes NoC distances), so a renamed alias
+// of the same machine still hits while a restructured one misses. The
+// binary fingerprint invalidates the cache whenever the simulator itself
+// is rebuilt with different code; when the binary cannot be
+// fingerprinted the prefix is empty, which disables caching entirely —
+// running fresh is always safe, serving stale never is.
+func (j Job) keyPrefix(topo noc.Topology) string {
+	fp := binaryFingerprint()
+	if fp == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s|%s|%s|ct%d|bt%d|tg%d|g%d|w%d|m%d",
+		cacheVersion, fp, j.Kind,
+		topo.CoresPerTile, topo.BanksPerTile, topo.TilesPerGroup, topo.NumGroups,
+		window(j.Warmup), window(j.Measure))
+}
+
+// keyf builds a unit cache key, or "" (uncacheable) when the job prefix
+// is empty.
+func keyf(prefix, format string, args ...any) string {
+	if prefix == "" {
+		return ""
+	}
+	return prefix + "|" + fmt.Sprintf(format, args...)
+}
+
+// histSpecKey canonicalizes a histogram curve spec.
+func histSpecKey(s experiments.HistSpec) string {
+	return fmt.Sprintf("%s|v%d|p%d|q%d|cq%d|bo%d",
+		s.Name, s.Variant, s.Policy, s.QueueCap, s.ColibriQueues, s.Backoff)
+}
+
+// queueSpecKey canonicalizes a queue curve spec.
+func queueSpecKey(s experiments.QueueSpec) string {
+	return fmt.Sprintf("%s|v%d|p%d|ms%t", s.Name, s.Variant, s.Policy, s.MS)
+}
+
+// window resolves the negative literal-zero sentinel to cycles.
+func window(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// expand resolves a normalized job into its series skeleton and the flat
+// unit list. Series names and point slots are fully determined here, so
+// assembly is pure placement.
+func expand(j Job) (noc.Topology, []Series, []unit, error) {
+	topo, ok := experiments.TopoByName(j.Topo)
+	if !ok {
+		return noc.Topology{}, nil, nil, fmt.Errorf("sweep: unknown topology %q", j.Topo)
+	}
+	prefix := j.keyPrefix(topo)
+	warmup, measure := window(j.Warmup), window(j.Measure)
+	var series []Series
+	var units []unit
+
+	histUnits := func(specs []experiments.HistSpec) {
+		for si, spec := range specs {
+			series = append(series, Series{Name: spec.Name, Points: make([]Point, len(j.Bins))})
+			for pi, bins := range j.Bins {
+				units = append(units, unit{
+					si: si, pi: pi, sim: true,
+					key: keyf(prefix, "%s|bins%d", histSpecKey(spec), bins),
+					run: func() Point {
+						p := experiments.RunHistogramPoint(spec, topo, bins, warmup, measure)
+						return Point{X: bins, Throughput: p.Throughput}
+					},
+				})
+			}
+		}
+	}
+
+	switch j.Kind {
+	case Fig3:
+		histUnits(experiments.Fig3Specs(topo.NumCores()))
+	case Fig4:
+		histUnits(experiments.Fig4Specs())
+	case Fig5:
+		for si, c := range experiments.Fig5Curves(topo.NumCores()) {
+			series = append(series, Series{Name: c.Name, Points: make([]Point, len(j.Bins))})
+			for pi, bins := range j.Bins {
+				units = append(units, unit{
+					si: si, pi: pi, sim: true,
+					key: keyf(prefix, "%s|r%d:%d|n%d|bins%d",
+						histSpecKey(c.Spec), c.Ratio.Pollers, c.Ratio.Workers, j.MatN, bins),
+					run: func() Point {
+						p := experiments.RunInterferencePoint(c.Spec, topo, c.Ratio,
+							bins, j.MatN, warmup, measure)
+						return Point{X: bins, Rel: p.Rel,
+							BaselineOps: p.BaselineOps, LoadedOps: p.LoadedOps}
+					},
+				})
+			}
+		}
+	case Fig6, Fig6MS:
+		specs := experiments.Fig6Specs()
+		if j.Kind == Fig6MS {
+			specs = experiments.Fig6MSSpecs()
+		}
+		counts := experiments.Fig6Counts(topo)
+		for si, spec := range specs {
+			series = append(series, Series{Name: spec.Name, Points: make([]Point, len(counts))})
+			for pi, n := range counts {
+				units = append(units, unit{
+					si: si, pi: pi, sim: true,
+					key: keyf(prefix, "%s|active%d", queueSpecKey(spec), n),
+					run: func() Point {
+						p := experiments.RunQueuePoint(spec, topo, n, warmup, measure)
+						return Point{X: n, Throughput: p.Throughput,
+							MinPerCore: p.MinPerCore, MaxPerCore: p.MaxPerCore}
+					},
+				})
+			}
+		}
+	case TableI:
+		rows := area.TableI(area.Default(), j.Cores)
+		series = append(series, Series{Name: "table1", Points: make([]Point, len(rows))})
+		for pi, r := range rows {
+			units = append(units, unit{
+				si: 0, pi: pi,
+				// key empty, sim false: pure arithmetic, cheaper to
+				// recompute than to hash.
+				run: func() Point {
+					return Point{X: pi, Label: r.Design, Params: r.Params,
+						AreaKGE: r.AreaKGE, OverheadPct: r.OverheadP, PaperKGE: r.PaperKGE}
+				},
+			})
+		}
+	case TableII:
+		specs := experiments.TableIISpecs()
+		series = append(series, Series{Name: "table2", Points: make([]Point, len(specs))})
+		for pi, spec := range specs {
+			units = append(units, unit{
+				si: 0, pi: pi, sim: true,
+				key: keyf(prefix, "%s|energy", histSpecKey(spec)),
+				run: func() Point {
+					row := experiments.TableIIRow(spec, topo, energy.Default(), warmup, measure)
+					return Point{X: pi, Label: row.Name, Backoff: row.Backoff,
+						PowerMW: row.PowerMW, PJPerOp: row.PJPerOp, PaperPJ: row.PaperPJ}
+				},
+			})
+		}
+	default:
+		return noc.Topology{}, nil, nil, fmt.Errorf("sweep: unknown kind %q", j.Kind)
+	}
+	return topo, series, units, nil
+}
+
+// finalize computes cross-point derived values after all units of a job
+// have landed (cached or executed). It never feeds the cache, so cached
+// and freshly-run results finalize identically.
+func finalize(r *Result) {
+	if r.Job.Kind != TableII || len(r.Series) == 0 {
+		return
+	}
+	points := r.Series[0].Points
+	rows := make([]experiments.EnergyRow, len(points))
+	for i, p := range points {
+		rows[i] = experiments.EnergyRow{Name: p.Label, PJPerOp: p.PJPerOp}
+	}
+	experiments.TableIIDelta(rows)
+	for i := range points {
+		points[i].DeltaPct = rows[i].DeltaPct
+	}
+}

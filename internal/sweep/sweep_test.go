@@ -1,0 +1,410 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/noc"
+)
+
+// Reduced windows keep every engine test on the 16-core topology fast
+// while still exercising real simulations.
+const (
+	testWarmup  = 300
+	testMeasure = 1500
+)
+
+func testJob(kind Kind) Job {
+	j := Job{Kind: kind, Topo: "small", Warmup: testWarmup, Measure: testMeasure}
+	switch kind {
+	case Fig3, Fig4:
+		j.Bins = []int{1, 4}
+	case Fig5:
+		j.Bins = []int{1}
+		j.MatN = 16
+	}
+	return j
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	j, err := Job{Kind: Fig3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Topo != "mempool" || j.Warmup != 3000 || j.Measure != 10000 {
+		t.Errorf("defaults = %+v", j)
+	}
+	if len(j.Bins) != 11 || j.Bins[10] != 1024 {
+		t.Errorf("default bins = %v", j.Bins)
+	}
+}
+
+// TestLiteralZeroWindow checks the negative sentinel: a negative
+// Warmup/Measure survives Normalize (idempotent) and runs as a literal
+// zero-cycle window rather than being replaced by the default.
+func TestLiteralZeroWindow(t *testing.T) {
+	j, err := Job{Kind: Fig3, Topo: "small", Bins: []int{1}, Warmup: -1, Measure: 2000}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Warmup != -1 {
+		t.Fatalf("negative warmup rewritten to %d", j.Warmup)
+	}
+	res, _, err := (&Runner{Workers: 1}).Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Series[0].Points[0].Throughput; got <= 0 {
+		t.Errorf("zero-warmup run made no progress: %v", got)
+	}
+	ref := experiments.RunHistogramPoint(experiments.Fig3Specs(16)[0], noc.Small(), 1, 0, 2000)
+	if res.Series[0].Points[0].Throughput != ref.Throughput {
+		t.Errorf("literal-zero warmup %v != direct warmup-0 run %v",
+			res.Series[0].Points[0].Throughput, ref.Throughput)
+	}
+	if !strings.Contains(res.Table().String(), "warmup 0,") {
+		t.Errorf("table title does not resolve sentinel:\n%s", res.Table().Title)
+	}
+}
+
+func TestExplicitWindow(t *testing.T) {
+	if ExplicitWindow(0) != -1 || ExplicitWindow(3000) != 3000 || ExplicitWindow(-2) != -2 {
+		t.Error("ExplicitWindow mapping wrong")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := (Job{Kind: "nope"}).Normalize(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (Job{Kind: Fig3, Topo: "galaxy"}).Normalize(); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := (Job{Kind: Fig3, Topo: "small", Bins: []int{0}}).Normalize(); err == nil {
+		t.Error("zero bin count accepted")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Point{X: 7, Label: "row", Throughput: 0.125, PJPerOp: 42.5}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok || got != want {
+		t.Fatalf("Get = %+v, %v; want %+v", got, ok, want)
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Error("hit for a different key")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", Point{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("k"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("corrupt entry served as hit")
+	}
+}
+
+func TestCacheKeyMismatchIsMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("real-key", Point{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a hash collision: alias the entry file under another key.
+	alias := c.path("other-key")
+	if err := os.MkdirAll(filepath.Dir(alias), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(c.path("real-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(alias, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("other-key"); ok {
+		t.Error("entry with mismatched key served as hit")
+	}
+}
+
+// resultJSON runs one job and returns its JSON bytes.
+func resultJSON(t *testing.T, r Runner, job Job) []byte {
+	t.Helper()
+	res, _, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterministicAcrossWorkers is the engine's core guarantee: a sweep
+// on one worker is byte-identical (as JSON) to the same sweep on many.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for _, kind := range []Kind{Fig3, Fig6, TableII} {
+		job := testJob(kind)
+		serial := resultJSON(t, Runner{Workers: 1}, job)
+		parallel := resultJSON(t, Runner{Workers: 8}, job)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: 1-worker and 8-worker JSON differ:\n%s\n---\n%s",
+				kind, serial, parallel)
+		}
+	}
+}
+
+// TestWarmCacheExecutesNothing checks the second half of the engine
+// contract: a re-run of an unchanged job is served entirely from the
+// cache, with zero simulations executed and identical output.
+func TestWarmCacheExecutesNothing(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(Fig3)
+	r := Runner{Workers: 4, Cache: cache}
+
+	cold, st, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != st.Units || st.CacheHits != 0 {
+		t.Fatalf("cold run stats = %+v", st)
+	}
+	warm, st, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 0 {
+		t.Errorf("warm run executed %d simulations", st.Executed)
+	}
+	if st.CacheHits != st.Units {
+		t.Errorf("warm run hits = %d, want %d", st.CacheHits, st.Units)
+	}
+	cb, _ := cold.JSON()
+	wb, _ := warm.JSON()
+	if !bytes.Equal(cb, wb) {
+		t.Error("warm-cache result differs from cold run")
+	}
+}
+
+// TestFig3Parity pins the engine to the reference implementation: the
+// sweep result must match a direct serial experiments.Fig3 call exactly.
+func TestFig3Parity(t *testing.T) {
+	topo := noc.Small()
+	bins := []int{1, 4, 16}
+	job := Job{Kind: Fig3, Topo: "small", Bins: bins, Warmup: testWarmup, Measure: testMeasure}
+	res, _, err := (&Runner{Workers: 4}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := experiments.Fig3(topo, bins, testWarmup, testMeasure)
+	if len(res.Series) != len(ref) {
+		t.Fatalf("series count %d, want %d", len(res.Series), len(ref))
+	}
+	for si, s := range ref {
+		if res.Series[si].Name != s.Spec.Name {
+			t.Errorf("series %d name %q, want %q", si, res.Series[si].Name, s.Spec.Name)
+		}
+		for pi, p := range s.Points {
+			got := res.Series[si].Points[pi]
+			if got.X != p.Bins || got.Throughput != p.Throughput {
+				t.Errorf("%s bins=%d: engine (%d, %v) != direct (%d, %v)",
+					s.Spec.Name, p.Bins, got.X, got.Throughput, p.Bins, p.Throughput)
+			}
+		}
+	}
+}
+
+// TestTableIIDeltaSurvivesCache checks that the cross-row DeltaPct (a
+// finalize-time derivation, deliberately never cached) is identical on
+// cold and warm runs.
+func TestTableIIDeltaSurvivesCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(TableII)
+	r := Runner{Workers: 2, Cache: cache}
+	cold, _, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, st, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 0 {
+		t.Fatalf("warm table2 run executed %d simulations", st.Executed)
+	}
+	sawDelta := false
+	for i, p := range cold.Series[0].Points {
+		w := warm.Series[0].Points[i]
+		if math.Abs(p.DeltaPct-w.DeltaPct) > 1e-12 {
+			t.Errorf("%s: cold delta %v != warm delta %v", p.Label, p.DeltaPct, w.DeltaPct)
+		}
+		if p.DeltaPct != 0 {
+			sawDelta = true
+		}
+	}
+	if !sawDelta {
+		t.Error("no row carries a nonzero delta vs colibri")
+	}
+}
+
+// TestRunAllSharesOnePool runs several jobs in one shot and checks each
+// result matches its individually-run counterpart.
+func TestRunAllSharesOnePool(t *testing.T) {
+	jobs := []Job{testJob(Fig3), testJob(TableI), testJob(TableII)}
+	r := Runner{Workers: 8}
+	all, st, err := r.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(all), len(jobs))
+	}
+	if st.Units == 0 || st.Executed == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i, job := range jobs {
+		single := resultJSON(t, Runner{Workers: 2}, job)
+		combined, err := all[i].JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, combined) {
+			t.Errorf("job %s: combined run differs from single run", job.Kind)
+		}
+	}
+}
+
+// TestDuplicateJobsCollapse checks that selecting the same experiment
+// twice costs one simulation per distinct point, with both results
+// filled identically.
+func TestDuplicateJobsCollapse(t *testing.T) {
+	job := testJob(Fig3)
+	all, st, err := (&Runner{Workers: 4}).RunAll([]Job{job, job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, sst, err := (&Runner{Workers: 4}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Units != sst.Units || st.Executed != sst.Executed {
+		t.Errorf("duplicate jobs stats %+v, single job %+v", st, sst)
+	}
+	want, _ := single.JSON()
+	for i, res := range all {
+		got, _ := res.JSON()
+		if !bytes.Equal(got, want) {
+			t.Errorf("duplicate result %d differs from single run", i)
+		}
+	}
+}
+
+// TestProgressEvents checks every point reports exactly once and the
+// final event carries the full total.
+func TestProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	r := Runner{Workers: 4, Progress: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}}
+	_, st, err := r.Run(testJob(Fig3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != st.Units {
+		t.Fatalf("%d events for %d units", len(events), st.Units)
+	}
+	maxDone := 0
+	for _, ev := range events {
+		if ev.Total != st.Units || ev.Kind != Fig3 {
+			t.Fatalf("bad event %+v", ev)
+		}
+		if ev.Done > maxDone {
+			maxDone = ev.Done
+		}
+	}
+	if maxDone != st.Units {
+		t.Errorf("max Done = %d, want %d", maxDone, st.Units)
+	}
+}
+
+func TestTableRenderingMatchesKinds(t *testing.T) {
+	for _, kind := range []Kind{TableI} {
+		res, _, err := (&Runner{}).Run(testJob(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl := res.Table().String(); tbl == "" {
+			t.Errorf("%s: empty table", kind)
+		}
+		if csv := res.CSV(); csv == "" {
+			t.Errorf("%s: empty CSV", kind)
+		}
+	}
+}
+
+func TestParseBins(t *testing.T) {
+	bins, err := ParseBins(" 1, 2,8 ")
+	if err != nil || len(bins) != 3 || bins[2] != 8 {
+		t.Errorf("ParseBins = %v, %v", bins, err)
+	}
+	if b, err := ParseBins(""); err != nil || b != nil {
+		t.Errorf("empty ParseBins = %v, %v", b, err)
+	}
+	if _, err := ParseBins("1,x"); err == nil {
+		t.Error("bad token accepted")
+	}
+	if _, err := ParseBins("-4"); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestOpenCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCacheFlag(dir, false)
+	if err != nil || c == nil || c.Dir() != dir {
+		t.Errorf("explicit dir: %v, %v", c, err)
+	}
+	if c, err := OpenCacheFlag("off", true); err != nil || c != nil {
+		t.Errorf("off: %v, %v", c, err)
+	}
+	if c, err := OpenCacheFlag("", false); err != nil || c != nil {
+		t.Errorf("default-off: %v, %v", c, err)
+	}
+}

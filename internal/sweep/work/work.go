@@ -1,0 +1,87 @@
+// Package work is the scheduling core of the sweep engine: a bounded
+// worker pool that maps an index space onto GOMAXPROCS goroutines with
+// deterministic result placement. Callers write result i from fn(i), so
+// the output order never depends on goroutine interleaving — the property
+// the sweep engine's byte-identical-JSON guarantee rests on.
+//
+// Both internal/sweep (parallel figure regeneration with caching) and
+// internal/experiments (the per-figure entry points) fan their
+// independent simulation points out through this pool.
+package work
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs index-space maps on a fixed number of workers.
+type Pool struct {
+	// Workers is the goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Serial returns a single-worker pool (deterministic reference order).
+func Serial() Pool { return Pool{Workers: 1} }
+
+// Parallel returns a GOMAXPROCS-wide pool.
+func Parallel() Pool { return Pool{} }
+
+// size resolves the effective worker count for n items.
+func (p Pool) size(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map2D calls fn(i, j) exactly once for every (i, j) in
+// [0, nOuter) × [0, nInner), distributing the flattened index space
+// across the pool's workers. The experiment sweeps use it to fan a
+// (series × point) grid out without hand-rolled index arithmetic.
+func (p Pool) Map2D(nOuter, nInner int, fn func(i, j int)) {
+	if nInner <= 0 {
+		return
+	}
+	p.Map(nOuter*nInner, func(k int) {
+		fn(k/nInner, k%nInner)
+	})
+}
+
+// Map calls fn(i) exactly once for every i in [0, n), distributing calls
+// across the pool's workers and returning when all calls are done. fn
+// must be safe for concurrent invocation when the pool has more than one
+// worker; each index is claimed by exactly one worker.
+func (p Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.size(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package work
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Pool{Workers: workers}.Map(n, func(i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapSerialPreservesOrder(t *testing.T) {
+	var order []int
+	Serial().Map(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial ran %d of 5", len(order))
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	called := false
+	Parallel().Map(0, func(int) { called = true })
+	Parallel().Map(-3, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty index space")
+	}
+}
+
+func TestMap2DCoversGrid(t *testing.T) {
+	const nOuter, nInner = 5, 7
+	var hits [nOuter][nInner]atomic.Int32
+	Pool{Workers: 4}.Map2D(nOuter, nInner, func(i, j int) {
+		hits[i][j].Add(1)
+	})
+	for i := range hits {
+		for j := range hits[i] {
+			if got := hits[i][j].Load(); got != 1 {
+				t.Fatalf("(%d,%d) ran %d times", i, j, got)
+			}
+		}
+	}
+	called := false
+	Parallel().Map2D(3, 0, func(int, int) { called = true })
+	if called {
+		t.Error("fn called for empty inner dimension")
+	}
+}
+
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	var count atomic.Int32
+	Pool{Workers: 16}.Map(3, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("ran %d of 3", count.Load())
+	}
+}

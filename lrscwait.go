@@ -28,6 +28,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 )
 
 // Re-exported core types. The facade keeps downstream users off the
@@ -173,6 +174,47 @@ func TableII(topo Topology, warmup, measure int) []EnergyRow {
 
 // StandardBins returns the paper's bin sweep clipped to the topology.
 func StandardBins(topo Topology) []int { return experiments.StandardBins(topo) }
+
+// Sweep engine re-exports: the parallel orchestration layer that fans
+// independent simulation points across a worker pool with disk caching
+// (see cmd/sweep for the unified CLI front end).
+type (
+	// SweepJob declares one experiment sweep (kind × topology × params).
+	SweepJob = sweep.Job
+	// SweepKind names an experiment of the evaluation.
+	SweepKind = sweep.Kind
+	// SweepRunner executes jobs on a worker pool with optional caching.
+	SweepRunner = sweep.Runner
+	// SweepResult is the assembled, deterministic output of one job.
+	SweepResult = sweep.Result
+	// SweepCache memoizes finished points on disk.
+	SweepCache = sweep.Cache
+	// SweepStats summarizes executed vs cached points of a run.
+	SweepStats = sweep.RunStats
+)
+
+// Sweepable experiment kinds.
+const (
+	KindFig3    = sweep.Fig3
+	KindFig4    = sweep.Fig4
+	KindFig5    = sweep.Fig5
+	KindFig6    = sweep.Fig6
+	KindFig6MS  = sweep.Fig6MS
+	KindTableI  = sweep.TableI
+	KindTableII = sweep.TableII
+)
+
+// OpenSweepCache opens the point cache rooted at dir ("" selects
+// ~/.cache/lrscwait or the platform equivalent).
+func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
+
+// RunSweeps executes jobs through one shared worker pool, GOMAXPROCS
+// wide, without caching. Use a SweepRunner directly for cache and
+// progress control.
+func RunSweeps(jobs ...SweepJob) ([]*SweepResult, SweepStats, error) {
+	var r SweepRunner
+	return r.RunAll(jobs)
+}
 
 // Histogram kernel construction for library users (see internal/kernels
 // for the full set of variants).
