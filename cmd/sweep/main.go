@@ -5,10 +5,17 @@
 // (~/.cache/lrscwait by default), and results print as aligned tables,
 // RFC 4180 CSV, or deterministic JSON.
 //
+// Beyond the paper's fixed spec sets, the -grid flag turns the policy
+// parameters themselves into sweep axes: the cross-product of
+// queuecap × colibriq × backoff values runs every curve of the selected
+// figures at every grid coordinate, one labelled series each.
+//
 // Usage:
 //
-//	sweep [-fig 3,4,5,6] [-table 1,2] [-all] [-topo mempool|medium|small]
-//	      [-bins 1,2,4,...] [-warmup N] [-measure N] [-matn N] [-ms]
+//	sweep [-fig 3,4,5,6] [-table 1,2] [-kind fig3,...,table2] [-all]
+//	      [-topo mempool|medium|small] [-bins 1,2,4,...]
+//	      [-grid 'queuecap=0,1,2 colibriq=2,4,8 backoff=0,64']
+//	      [-warmup N] [-measure N] [-matn N] [-ms]
 //	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
 //	      [-csv] [-quiet]
 //
@@ -17,6 +24,7 @@
 //	sweep -all                       # full evaluation, paper scale
 //	sweep -fig 3 -topo small         # one figure, 16-core machine
 //	sweep -fig 3,4,5,6 -table 1,2 -topo medium -json out/
+//	sweep -kind fig3 -grid 'queuecap=0,1,2,4'   # wait-queue sizing study
 package main
 
 import (
@@ -41,6 +49,15 @@ var tableKinds = map[string]sweep.Kind{
 	"1": sweep.TableI, "2": sweep.TableII,
 }
 
+// validKinds accepts the -kind selector values (the engine's kind names).
+var validKinds = func() map[sweep.Kind]bool {
+	m := map[sweep.Kind]bool{}
+	for _, k := range sweep.Kinds() {
+		m[k] = true
+	}
+	return m
+}()
+
 // splitList parses a comma-separated selector like "3,4,6".
 func splitList(s string) []string {
 	if strings.TrimSpace(s) == "" {
@@ -56,6 +73,8 @@ func splitList(s string) []string {
 func main() {
 	figs := flag.String("fig", "", "figures to regenerate (comma-separated subset of 3,4,5,6)")
 	tables := flag.String("table", "", "tables to regenerate (comma-separated subset of 1,2)")
+	kinds := flag.String("kind", "", "experiments by kind name (comma-separated subset of fig3,fig4,fig5,fig6,fig6ms,table1,table2)")
+	gridFlag := flag.String("grid", "", "policy grid for figure sweeps, e.g. 'queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	topo := flag.String("topo", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	binsFlag := flag.String("bins", "", "bin counts for figs 3/4/5 (default: per-figure paper sweep)")
@@ -75,17 +94,29 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	grid, err := sweep.ParseGrid(*gridFlag)
+	if err != nil {
+		fail("%v", err)
+	}
 
-	figSel, tableSel := splitList(*figs), splitList(*tables)
+	figSel, tableSel, kindSel := splitList(*figs), splitList(*tables), splitList(*kinds)
 	if *all {
 		figSel, tableSel = []string{"3", "4", "5", "6"}, []string{"1", "2"}
 	}
-	if len(figSel) == 0 && len(tableSel) == 0 {
-		fail("nothing selected; use -fig, -table or -all (see -help)")
+	if len(figSel) == 0 && len(tableSel) == 0 && len(kindSel) == 0 {
+		fail("nothing selected; use -fig, -table, -kind or -all (see -help)")
 	}
 
 	var jobs []sweep.Job
+	gridApplied := false
+	selected := map[sweep.Kind]bool{}
 	addJob := func(kind sweep.Kind) {
+		// Overlapping selectors (-all -kind fig3, -fig 3 -kind fig3) would
+		// print the figure twice and double-write its -json/-csvdir file.
+		if selected[kind] {
+			return
+		}
+		selected[kind] = true
 		job := sweep.Job{Kind: kind, Topo: *topo, Warmup: *warmup, Measure: *measure}
 		switch kind {
 		case sweep.Fig3, sweep.Fig4:
@@ -93,6 +124,14 @@ func main() {
 		case sweep.Fig5:
 			job.Bins = bins
 			job.MatN = *matN
+		}
+		switch kind {
+		case sweep.TableI, sweep.TableII:
+			// Grid axes don't apply to the tables; leaving them unset keeps
+			// `-all -grid ...` usable (tables run once, figures per point).
+		default:
+			grid.Apply(&job)
+			gridApplied = true
 		}
 		jobs = append(jobs, job)
 	}
@@ -113,7 +152,19 @@ func main() {
 		}
 		addJob(kind)
 	}
+	for _, k := range kindSel {
+		kind := sweep.Kind(k)
+		if !validKinds[kind] {
+			fail("unknown kind %q (have fig3,fig4,fig5,fig6,fig6ms,table1,table2)", k)
+		}
+		addJob(kind)
+	}
 
+	if !grid.IsZero() && !gridApplied {
+		// Only tables selected: silently dropping the grid would look like
+		// a successful policy sweep that never happened.
+		fail("-grid applies only to figure kinds (fig3,fig4,fig5,fig6,fig6ms)")
+	}
 	if *csv && len(jobs) > 1 {
 		// Concatenated CSV tables with different headers don't parse;
 		// write one file per result instead.

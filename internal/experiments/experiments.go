@@ -22,6 +22,61 @@ import (
 // DefaultBackoff is the paper's retry/spin backoff of 128 cycles.
 const DefaultBackoff = 128
 
+// Policy is the explicit hardware/software policy configuration of one
+// simulation point: the knobs the paper's design space varies on top of
+// a PolicyKind. Every runner threads a Policy down to platform.Config,
+// so sweeps can override these per point instead of relying on the
+// defaults baked into a spec.
+type Policy struct {
+	QueueCap      int // WaitQueue slots (0 = ideal, one per core)
+	ColibriQueues int // head/tail pairs per bank controller (0 = default 4)
+	// Backoff in cycles: 0 selects the paper's default of 128; a
+	// negative value selects no backoff (used to provoke saturation at
+	// reduced scale).
+	Backoff int32
+}
+
+// ResolveColibriQueues maps the policy's ColibriQueues field to the
+// head/tail pair count the platform will actually instantiate.
+func (p Policy) ResolveColibriQueues() int {
+	if p.ColibriQueues <= 0 {
+		return platform.DefaultColibriQueues
+	}
+	return p.ColibriQueues
+}
+
+// ResolveBackoff maps the policy's Backoff field to cycles.
+func (p Policy) ResolveBackoff() int32 {
+	switch {
+	case p.Backoff < 0:
+		return 0
+	case p.Backoff == 0:
+		return DefaultBackoff
+	default:
+		return p.Backoff
+	}
+}
+
+// Config assembles the platform configuration for kind on topo.
+func (p Policy) Config(kind platform.PolicyKind, topo noc.Topology) platform.Config {
+	return platform.Config{
+		Topo:          topo,
+		Policy:        kind,
+		QueueCap:      p.QueueCap,
+		ColibriQueues: p.ColibriQueues,
+	}
+}
+
+// LiteralBackoff encodes literal backoff cycles in the Policy
+// convention, where zero means "default": 0 cycles becomes the negative
+// no-backoff sentinel.
+func LiteralBackoff(cycles int) int32 {
+	if cycles <= 0 {
+		return -1
+	}
+	return int32(cycles)
+}
+
 // HistSpec pairs a histogram software variant with a hardware policy —
 // one curve of Fig. 3 or Fig. 4.
 type HistSpec struct {
@@ -36,16 +91,10 @@ type HistSpec struct {
 	Backoff int32
 }
 
-// resolveBackoff maps the spec's Backoff field to cycles.
-func resolveBackoff(spec HistSpec) int32 {
-	switch {
-	case spec.Backoff < 0:
-		return 0
-	case spec.Backoff == 0:
-		return DefaultBackoff
-	default:
-		return spec.Backoff
-	}
+// PolicyConfig returns the spec's baked-in policy parameters. Runners
+// that accept an explicit Policy use this as the no-override baseline.
+func (s HistSpec) PolicyConfig() Policy {
+	return Policy{QueueCap: s.QueueCap, ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
 }
 
 // Fig3Specs returns the curves of Fig. 3 for a system with nCores cores:
@@ -92,24 +141,29 @@ type HistSeries struct {
 	Points []HistPoint
 }
 
-// buildHistogram constructs a system running the endless histogram.
-func buildHistogram(spec HistSpec, topo noc.Topology, bins int, iters int) (*platform.System, kernels.HistLayout) {
-	cfg := platform.Config{
-		Topo:          topo,
-		Policy:        spec.Policy,
-		QueueCap:      spec.QueueCap,
-		ColibriQueues: spec.ColibriQueues,
-	}
+// buildHistogram constructs a system running the endless histogram
+// under an explicit policy configuration.
+func buildHistogram(spec HistSpec, pol Policy, topo noc.Topology, bins int, iters int) (*platform.System, kernels.HistLayout) {
+	cfg := pol.Config(spec.Policy, topo)
 	l := platform.NewLayout(0)
 	lay := kernels.NewHistLayout(l, bins, topo.NumCores())
-	prog := kernels.HistogramProgram(spec.Variant, lay, resolveBackoff(spec), iters)
+	prog := kernels.HistogramProgram(spec.Variant, lay, pol.ResolveBackoff(), iters)
 	sys := platform.New(cfg, platform.SameProgram(prog))
 	return sys, lay
 }
 
-// RunHistogramPoint measures one (spec, bins) point.
+// RunHistogramPoint measures one (spec, bins) point with the spec's
+// baked-in policy parameters.
 func RunHistogramPoint(spec HistSpec, topo noc.Topology, bins, warmup, measure int) HistPoint {
-	sys, _ := buildHistogram(spec, topo, bins, 0)
+	return RunHistogramPointPolicy(spec, spec.PolicyConfig(), topo, bins, warmup, measure)
+}
+
+// RunHistogramPointPolicy measures one (spec, bins) point under an
+// explicit policy configuration, ignoring the spec's own policy fields.
+// The policy-grid sweeps use it to vary QueueCap/ColibriQueues/backoff
+// per point.
+func RunHistogramPointPolicy(spec HistSpec, pol Policy, topo noc.Topology, bins, warmup, measure int) HistPoint {
+	sys, _ := buildHistogram(spec, pol, topo, bins, 0)
 	act := sys.Measure(warmup, measure)
 	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
 }

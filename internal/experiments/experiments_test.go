@@ -225,6 +225,87 @@ func TestTableIModelFit(t *testing.T) {
 	}
 }
 
+func TestPolicyBackoffResolution(t *testing.T) {
+	if got := (Policy{}).ResolveBackoff(); got != DefaultBackoff {
+		t.Errorf("zero backoff resolved to %d, want default %d", got, DefaultBackoff)
+	}
+	if got := (Policy{Backoff: -1}).ResolveBackoff(); got != 0 {
+		t.Errorf("negative backoff resolved to %d, want 0", got)
+	}
+	if got := (Policy{Backoff: 64}).ResolveBackoff(); got != 64 {
+		t.Errorf("explicit backoff resolved to %d, want 64", got)
+	}
+	if LiteralBackoff(0) >= 0 {
+		t.Error("literal 0 cycles not encoded as the no-backoff sentinel")
+	}
+	if LiteralBackoff(64) != 64 {
+		t.Errorf("LiteralBackoff(64) = %d", LiteralBackoff(64))
+	}
+}
+
+func TestPolicyConfigAssembly(t *testing.T) {
+	topo := noc.Small()
+	cfg := Policy{QueueCap: 3, ColibriQueues: 2}.Config(platform.PolicyWaitQueue, topo)
+	if cfg.Policy != platform.PolicyWaitQueue || cfg.QueueCap != 3 ||
+		cfg.ColibriQueues != 2 || cfg.Topo.NumCores() != topo.NumCores() {
+		t.Errorf("assembled config = %+v", cfg)
+	}
+	spec := HistSpec{QueueCap: 5, ColibriQueues: 6, Backoff: -1}
+	if got := spec.PolicyConfig(); got != (Policy{QueueCap: 5, ColibriQueues: 6, Backoff: -1}) {
+		t.Errorf("HistSpec.PolicyConfig = %+v", got)
+	}
+	if got := (QueueSpec{}).PolicyConfig(); got != (Policy{}) {
+		t.Errorf("QueueSpec.PolicyConfig = %+v (want all-defaults)", got)
+	}
+}
+
+// TestPolicyOverrideMatchesBakedSpec pins the override path to the
+// baked-spec path: running the ideal-queue spec with an explicit
+// QueueCap=1 policy must reproduce the lrscwait-1 spec exactly (the
+// simulator sees the same platform.Config either way).
+func TestPolicyOverrideMatchesBakedSpec(t *testing.T) {
+	topo := noc.Small()
+	specs := map[string]HistSpec{}
+	for _, s := range Fig3Specs(topo.NumCores()) {
+		specs[s.Name] = s
+	}
+	ideal, one := specs["lrscwait-ideal"], specs["lrscwait-1"]
+	pol := ideal.PolicyConfig()
+	pol.QueueCap = 1
+	got := RunHistogramPointPolicy(ideal, pol, topo, 1, 500, 2000)
+	want := RunHistogramPoint(one, topo, 1, 500, 2000)
+	if got.Throughput != want.Throughput {
+		t.Errorf("override run %v != baked-spec run %v", got.Throughput, want.Throughput)
+	}
+}
+
+// TestRunnerPolicyParity checks the Policy-threaded runners degrade to
+// the historical entry points when handed the spec's own baseline.
+func TestRunnerPolicyParity(t *testing.T) {
+	topo := noc.Small()
+	hist := Fig3Specs(topo.NumCores())[0]
+	hp := RunHistogramPoint(hist, topo, 2, 500, 2000)
+	hpp := RunHistogramPointPolicy(hist, hist.PolicyConfig(), topo, 2, 500, 2000)
+	if hp.Throughput != hpp.Throughput {
+		t.Errorf("histogram: %v != %v", hp.Throughput, hpp.Throughput)
+	}
+
+	q := Fig6Specs()[0]
+	qp := RunQueuePoint(q, topo, 4, 500, 2000)
+	qpp := RunQueuePointPolicy(q, q.PolicyConfig(), topo, 4, 500, 2000)
+	if qp != qpp {
+		t.Errorf("queue: %+v != %+v", qp, qpp)
+	}
+
+	ratio := InterferenceRatio{Pollers: 14, Workers: 2}
+	spec := HistSpec{Name: "lrsc", Variant: kernels.HistLRSC, Policy: platform.PolicyLRSCSingle}
+	ip := RunInterferencePoint(spec, topo, ratio, 1, 16, 500, 2000)
+	ipp := RunInterferencePointPolicy(spec, spec.PolicyConfig(), topo, ratio, 1, 16, 500, 2000)
+	if ip != ipp {
+		t.Errorf("interference: %+v != %+v", ip, ipp)
+	}
+}
+
 func TestStandardBins(t *testing.T) {
 	bins := StandardBins(noc.MemPool256())
 	if len(bins) != 11 || bins[0] != 1 || bins[len(bins)-1] != 1024 {

@@ -58,20 +58,16 @@ func haltedProgram() *isa.Program {
 
 // interferenceSystem builds a system where the first ratio.Pollers cores
 // run the histogram spec (or halt, when loaded is false) and the last
-// ratio.Workers cores run the endless matmul.
-func interferenceSystem(spec HistSpec, topo noc.Topology, ratio InterferenceRatio,
+// ratio.Workers cores run the endless matmul, under an explicit policy
+// configuration.
+func interferenceSystem(spec HistSpec, pol Policy, topo noc.Topology, ratio InterferenceRatio,
 	bins, matN int, loaded bool) (*platform.System, []int) {
 	nCores := topo.NumCores()
 	if ratio.Pollers+ratio.Workers > nCores {
 		panic("experiments: ratio exceeds core count")
 	}
-	cfg := platform.Config{
-		Topo:          topo,
-		Policy:        spec.Policy,
-		QueueCap:      spec.QueueCap,
-		ColibriQueues: spec.ColibriQueues,
-	}
-	backoff := resolveBackoff(spec)
+	cfg := pol.Config(spec.Policy, topo)
+	backoff := pol.ResolveBackoff()
 	l := platform.NewLayout(0)
 	histLay := kernels.NewHistLayout(l, bins, nCores)
 	matLay := kernels.NewMatmulLayout(l, matN)
@@ -109,17 +105,26 @@ func workerThroughput(act platform.Activity, workers []int) float64 {
 }
 
 // RunInterferencePoint measures worker slowdown for one (spec, ratio,
-// bins) combination. matN is the matrix dimension (must be >= the worker
-// count so every worker owns at least one row).
+// bins) combination with the spec's baked-in policy parameters. matN is
+// the matrix dimension (must be >= the worker count so every worker owns
+// at least one row).
 func RunInterferencePoint(spec HistSpec, topo noc.Topology, ratio InterferenceRatio,
 	bins, matN, warmup, measure int) InterferencePoint {
+	return RunInterferencePointPolicy(spec, spec.PolicyConfig(), topo, ratio,
+		bins, matN, warmup, measure)
+}
+
+// RunInterferencePointPolicy measures one interference point under an
+// explicit policy configuration, ignoring the spec's own policy fields.
+func RunInterferencePointPolicy(spec HistSpec, pol Policy, topo noc.Topology,
+	ratio InterferenceRatio, bins, matN, warmup, measure int) InterferencePoint {
 	if matN < ratio.Workers {
 		matN = ratio.Workers
 	}
-	base, workers := interferenceSystem(spec, topo, ratio, bins, matN, false)
+	base, workers := interferenceSystem(spec, pol, topo, ratio, bins, matN, false)
 	baseline := workerThroughput(base.Measure(warmup, measure), workers)
 
-	loadedSys, workers := interferenceSystem(spec, topo, ratio, bins, matN, true)
+	loadedSys, workers := interferenceSystem(spec, pol, topo, ratio, bins, matN, true)
 	loadedTP := workerThroughput(loadedSys.Measure(warmup, measure), workers)
 
 	rel := 0.0

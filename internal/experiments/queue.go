@@ -22,6 +22,12 @@ type QueueSpec struct {
 	MS      bool
 }
 
+// PolicyConfig returns the spec's policy baseline. Queue specs carry no
+// per-spec overrides, so this is the all-defaults Policy (128-cycle
+// backoff, default Colibri queue count); the policy-grid sweeps override
+// it per point.
+func (s QueueSpec) PolicyConfig() Policy { return Policy{} }
+
 // Fig6Specs returns the three curves of Fig. 6 on the fetch-and-add ring.
 func Fig6Specs() []QueueSpec {
 	return []QueueSpec{
@@ -57,13 +63,21 @@ type QueueSeries struct {
 	Points []QueuePoint
 }
 
-// RunQueuePoint measures queue accesses/cycle with nActive cores working.
+// RunQueuePoint measures queue accesses/cycle with nActive cores
+// working, under the spec's policy baseline.
 func RunQueuePoint(spec QueueSpec, topo noc.Topology, nActive, warmup, measure int) QueuePoint {
+	return RunQueuePointPolicy(spec, spec.PolicyConfig(), topo, nActive, warmup, measure)
+}
+
+// RunQueuePointPolicy measures one queue point under an explicit policy
+// configuration (queue capacity, Colibri queue count, backoff cycles).
+func RunQueuePointPolicy(spec QueueSpec, pol Policy, topo noc.Topology, nActive, warmup, measure int) QueuePoint {
 	nCores := topo.NumCores()
 	if nActive > nCores {
 		nActive = nCores
 	}
-	cfg := platform.Config{Topo: topo, Policy: spec.Policy}
+	cfg := pol.Config(spec.Policy, topo)
+	backoff := pol.ResolveBackoff()
 	l := platform.NewLayout(0)
 	idle := func() *isa.Program {
 		b := isa.NewBuilder()
@@ -75,11 +89,11 @@ func RunQueuePoint(spec QueueSpec, topo noc.Topology, nActive, warmup, measure i
 	if spec.MS {
 		lay := kernels.NewMSLayout(l, nCores, 4)
 		queueProg = kernels.MSQueueProgram(spec.Variant == kernels.QueueLRSCWait,
-			lay, DefaultBackoff, 0)
+			lay, backoff, 0)
 		initQueue = func(sys *platform.System) { kernels.InitMSQueue(sys, lay) }
 	} else {
 		lay := kernels.NewQueueLayout(l, nCores, 2*nActive)
-		queueProg = kernels.QueueProgram(spec.Variant, lay, DefaultBackoff, 0)
+		queueProg = kernels.QueueProgram(spec.Variant, lay, backoff, 0)
 		initQueue = func(sys *platform.System) { kernels.InitQueue(sys, lay) }
 	}
 	sys := platform.New(cfg, func(core int) *isa.Program {

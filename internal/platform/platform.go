@@ -51,6 +51,10 @@ func (p PolicyKind) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// DefaultColibriQueues is the head/tail pair count a zero
+// Config.ColibriQueues selects (the paper's Colibri configuration).
+const DefaultColibriQueues = 4
+
 // Config describes a system instance.
 type Config struct {
 	Topo noc.Topology
@@ -112,7 +116,7 @@ func New(cfg Config, progFor ProgramFor) *System {
 		cfg.WordsPerBank = 1024
 	}
 	if cfg.ColibriQueues <= 0 {
-		cfg.ColibriQueues = 4
+		cfg.ColibriQueues = DefaultColibriQueues
 	}
 	s := &System{Cfg: cfg}
 	topo := cfg.Topo

@@ -29,6 +29,62 @@ func ParseBins(s string) ([]int, error) {
 	return bins, nil
 }
 
+// Grid is a parsed -grid flag: the three policy axes a sweep can
+// cross-product over. Zero-valued axes are not swept.
+type Grid struct {
+	QueueCaps, ColibriQueues, Backoffs []int
+}
+
+// ParseGrid parses the -grid flag syntax: whitespace-separated
+// axis=v1,v2,... clauses, e.g.
+//
+//	queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64
+//
+// Axes are queuecap (WaitQueue slots, 0 = ideal), colibriq (head/tail
+// pairs) and backoff (cycles, 0 = none). Values are non-negative
+// integers; range checks beyond that are Normalize's job. A repeated
+// axis accumulates. The empty string parses to the zero Grid.
+func ParseGrid(s string) (Grid, error) {
+	var g Grid
+	for _, clause := range strings.Fields(s) {
+		axis, list, ok := strings.Cut(clause, "=")
+		if !ok || list == "" {
+			return Grid{}, fmt.Errorf("bad grid clause %q (want axis=v1,v2,...)", clause)
+		}
+		var vals []int
+		for _, tok := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 0 {
+				return Grid{}, fmt.Errorf("bad %s grid value %q", axis, tok)
+			}
+			vals = append(vals, v)
+		}
+		switch axis {
+		case "queuecap":
+			g.QueueCaps = append(g.QueueCaps, vals...)
+		case "colibriq":
+			g.ColibriQueues = append(g.ColibriQueues, vals...)
+		case "backoff":
+			g.Backoffs = append(g.Backoffs, vals...)
+		default:
+			return Grid{}, fmt.Errorf("unknown grid axis %q (have queuecap, colibriq, backoff)", axis)
+		}
+	}
+	return g, nil
+}
+
+// IsZero reports whether no axis is set.
+func (g Grid) IsZero() bool {
+	return len(g.QueueCaps) == 0 && len(g.ColibriQueues) == 0 && len(g.Backoffs) == 0
+}
+
+// Apply sets the grid axes on a job.
+func (g Grid) Apply(j *Job) {
+	j.QueueCaps = g.QueueCaps
+	j.ColibriQueues = g.ColibriQueues
+	j.Backoffs = g.Backoffs
+}
+
 // OpenCacheFlag resolves a -cache flag value: "off"/"none" disables
 // caching, "on"/"default" selects the user cache dir, "" follows the
 // tool's default (defaultOn), and anything else is a directory path.

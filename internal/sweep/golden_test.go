@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the emitter golden files from current output")
+
+// TestGoldenEmitters is the emitter regression suite: each case runs a
+// reduced deterministic sweep and compares the JSON, CSV and aligned-
+// table renderings byte-for-byte against internal/sweep/testdata/.
+// After an intentional simulator or emitter change, regenerate with
+//
+//	go test ./internal/sweep -run TestGoldenEmitters -update
+//
+// and review the diff like any other code change.
+func TestGoldenEmitters(t *testing.T) {
+	cases := []struct {
+		name string
+		job  Job
+	}{
+		// The default job pins the grid-free output format (and with it
+		// the "no -grid flag means byte-identical output" guarantee).
+		{"fig3-default", testJob(Fig3)},
+		// The grid job pins series labelling and ordering across a
+		// queuecap × backoff cross-product.
+		{"fig3-grid", gridTestJob()},
+		// A fig6 colibriq grid covers the queue-kind key/label path.
+		{"fig6-grid", Job{Kind: Fig6, Topo: "small",
+			Warmup: testWarmup, Measure: testMeasure, ColibriQueues: []int{1, 8}}},
+		// A table kind covers the finalize-time delta emitters.
+		{"table2-default", testJob(TableII)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, _, err := (&Runner{Workers: 1}).Run(c.job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonB, err := res.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs := []struct {
+				ext string
+				got []byte
+			}{
+				{"json", jsonB},
+				{"csv", []byte(res.CSV())},
+				{"txt", []byte(res.Table().String())},
+			}
+			for _, o := range outputs {
+				path := filepath.Join("testdata", c.name+"."+o.ext)
+				if *update {
+					if err := os.WriteFile(path, o.got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+				}
+				if !bytes.Equal(o.got, want) {
+					t.Errorf("%s: output drifted from golden file\n--- got ---\n%s--- want ---\n%s",
+						path, o.got, want)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -43,10 +44,54 @@ type Point struct {
 	PaperKGE    float64 `json:"paperKGE,omitempty"`
 }
 
-// Series is one curve (or one whole table, for the table kinds).
+// GridCoord identifies one point of a policy grid: which axes the job
+// swept and the value each takes for a series. Unset axes stay nil and
+// are omitted from JSON, so results of grid-free jobs serialize exactly
+// as before the grid axes existed.
+type GridCoord struct {
+	QueueCap      *int `json:"queueCap,omitempty"`
+	ColibriQueues *int `json:"colibriQueues,omitempty"`
+	Backoff       *int `json:"backoff,omitempty"`
+}
+
+// IsZero reports whether no axis is set (a grid-free sweep).
+func (g GridCoord) IsZero() bool {
+	return g.QueueCap == nil && g.ColibriQueues == nil && g.Backoff == nil
+}
+
+// Label renders the coordinate in the -grid flag syntax, e.g.
+// "queuecap=2 colibriq=4 backoff=64". Empty when no axis is set.
+func (g GridCoord) Label() string {
+	var parts []string
+	if g.QueueCap != nil {
+		parts = append(parts, "queuecap="+strconv.Itoa(*g.QueueCap))
+	}
+	if g.ColibriQueues != nil {
+		parts = append(parts, "colibriq="+strconv.Itoa(*g.ColibriQueues))
+	}
+	if g.Backoff != nil {
+		parts = append(parts, "backoff="+strconv.Itoa(*g.Backoff))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ref returns the coordinate as a Series field: nil for the zero
+// coordinate, so grid-free series keep their pre-grid JSON encoding.
+func (g GridCoord) ref() *GridCoord {
+	if g.IsZero() {
+		return nil
+	}
+	c := g
+	return &c
+}
+
+// Series is one curve (or one whole table, for the table kinds). Grid
+// labels the policy-grid coordinate the curve was measured at; it is nil
+// for grid-free sweeps.
 type Series struct {
-	Name   string  `json:"name"`
-	Points []Point `json:"points"`
+	Name   string     `json:"name"`
+	Grid   *GridCoord `json:"grid,omitempty"`
+	Points []Point    `json:"points"`
 }
 
 // Result is the assembled output of one Job. Its JSON encoding is

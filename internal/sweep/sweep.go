@@ -14,6 +14,7 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/area"
 	"repro/internal/energy"
@@ -41,8 +42,10 @@ func Kinds() []Kind {
 }
 
 // cacheVersion invalidates every cached point when the simulator or the
-// calibrated models change incompatibly.
-const cacheVersion = "v1"
+// calibrated models change incompatibly. v2: policy-grid axes — unit
+// keys now carry the effective (possibly grid-overridden) policy, so
+// every pre-grid entry is stale.
+const cacheVersion = "v2"
 
 // Per-kind default simulation parameters, shared by Job.Normalize and
 // the legacy cmd tools' flag defaults so the two paths cannot drift.
@@ -71,12 +74,82 @@ type Job struct {
 	MatN int `json:"matn,omitempty"`
 	// Cores is the table1 ideal-queue extrapolation core count.
 	Cores int `json:"cores,omitempty"`
+
+	// Policy-grid axes (figure kinds only). Each non-empty axis overrides
+	// the corresponding policy parameter on every curve spec of the kind,
+	// and the cross-product of all set axes multiplies the series set:
+	// one labelled series per (spec, grid coordinate), whose points
+	// cross-product with Bins (or the fig6 core counts) into independent
+	// units. Values are literal: QueueCaps in WaitQueue slots (0 = ideal,
+	// one per core), ColibriQueues in head/tail pairs (>= 1), Backoffs in
+	// cycles (0 = literally no backoff). Empty axes leave the spec's
+	// baked-in parameters untouched; all-empty reproduces the grid-free
+	// sweep exactly.
+	QueueCaps     []int `json:"queueCaps,omitempty"`
+	ColibriQueues []int `json:"colibriQueues,omitempty"`
+	Backoffs      []int `json:"backoffs,omitempty"`
+}
+
+// HasGrid reports whether any policy-grid axis is set.
+func (j Job) HasGrid() bool {
+	return len(j.QueueCaps) > 0 || len(j.ColibriQueues) > 0 || len(j.Backoffs) > 0
+}
+
+// gridPoints expands the job's set axes into the cross-product of grid
+// coordinates, QueueCaps-major, in normalized (ascending) order. A job
+// with no grid yields the single zero coordinate: no overrides.
+func (j Job) gridPoints() []GridCoord {
+	coords := []GridCoord{{}}
+	cross := func(vals []int, set func(*GridCoord, *int)) {
+		if len(vals) == 0 {
+			return
+		}
+		out := make([]GridCoord, 0, len(coords)*len(vals))
+		for _, c := range coords {
+			for i := range vals {
+				next := c
+				set(&next, &vals[i])
+				out = append(out, next)
+			}
+		}
+		coords = out
+	}
+	cross(j.QueueCaps, func(c *GridCoord, v *int) { c.QueueCap = v })
+	cross(j.ColibriQueues, func(c *GridCoord, v *int) { c.ColibriQueues = v })
+	cross(j.Backoffs, func(c *GridCoord, v *int) { c.Backoff = v })
+	return coords
+}
+
+// gridPolicy merges a grid coordinate over a spec's baked-in policy.
+// Grid backoffs are literal cycles, so they are re-encoded in the
+// Policy convention (0 cycles -> the negative no-backoff sentinel).
+func gridPolicy(base experiments.Policy, g GridCoord) experiments.Policy {
+	if g.QueueCap != nil {
+		base.QueueCap = *g.QueueCap
+	}
+	if g.ColibriQueues != nil {
+		base.ColibriQueues = *g.ColibriQueues
+	}
+	if g.Backoff != nil {
+		base.Backoff = experiments.LiteralBackoff(*g.Backoff)
+	}
+	return base
+}
+
+// gridName suffixes a series name with its grid coordinate.
+func gridName(name string, g GridCoord) string {
+	if g.IsZero() {
+		return name
+	}
+	return name + " [" + g.Label() + "]"
 }
 
 // Normalize fills per-kind defaults (matching the historical cmd tools)
-// and validates the job. The returned job is what keys the cache and is
-// recorded in the Result, so two specs that normalize identically share
-// cached points.
+// and validates the job. Grid axes are canonicalized — sorted ascending
+// with duplicates removed — so value order can never fork cache
+// identities. The returned job is what keys the cache and is recorded in
+// the Result, so two specs that normalize identically share cached
+// points.
 func (j Job) Normalize() (Job, error) {
 	if j.Topo == "" {
 		j.Topo = "mempool"
@@ -123,7 +196,50 @@ func (j Job) Normalize() (Job, error) {
 			return j, fmt.Errorf("sweep: bad bin count %d", b)
 		}
 	}
+	if j.HasGrid() {
+		switch j.Kind {
+		case TableI, TableII:
+			return j, fmt.Errorf("sweep: policy-grid axes do not apply to %s", j.Kind)
+		}
+		j.QueueCaps = canonAxis(j.QueueCaps)
+		j.ColibriQueues = canonAxis(j.ColibriQueues)
+		j.Backoffs = canonAxis(j.Backoffs)
+		for _, v := range j.QueueCaps {
+			if v < 0 {
+				return j, fmt.Errorf("sweep: bad grid queuecap %d (0 = ideal, else slots)", v)
+			}
+		}
+		for _, v := range j.ColibriQueues {
+			if v < 1 {
+				return j, fmt.Errorf("sweep: bad grid colibriq %d (need >= 1 head/tail pair)", v)
+			}
+		}
+		for _, v := range j.Backoffs {
+			if v < 0 {
+				return j, fmt.Errorf("sweep: bad grid backoff %d (cycles, 0 = none)", v)
+			}
+		}
+	}
 	return j, nil
+}
+
+// canonAxis sorts a grid axis ascending and removes duplicates. Nil in,
+// nil out, so grid-free jobs stay byte-identical through Normalize.
+func canonAxis(vals []int) []int {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]int, len(vals))
+	copy(out, vals)
+	sort.Ints(out)
+	n := 1
+	for _, v := range out[1:] {
+		if v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // unit is one independent point of a sweep: where its result goes
@@ -165,15 +281,27 @@ func keyf(prefix, format string, args ...any) string {
 	return prefix + "|" + fmt.Sprintf(format, args...)
 }
 
-// histSpecKey canonicalizes a histogram curve spec.
-func histSpecKey(s experiments.HistSpec) string {
+// histSpecKey canonicalizes a histogram curve spec together with the
+// effective policy it runs under. The policy is keyed fully resolved —
+// backoff in literal cycles, Colibri queues as the count the platform
+// instantiates — so a grid value that merely restates a default (e.g.
+// backoff=128 or colibriq=4) hits the same cache entry as the grid-free
+// run: it is the same simulation. Jobs differing in any effective axis
+// get distinct keys. QueueCap stays literal: 0 (ideal, one slot per
+// core) is resolved by the platform against the topology, which is
+// already part of the key prefix.
+func histSpecKey(s experiments.HistSpec, pol experiments.Policy) string {
 	return fmt.Sprintf("%s|v%d|p%d|q%d|cq%d|bo%d",
-		s.Name, s.Variant, s.Policy, s.QueueCap, s.ColibriQueues, s.Backoff)
+		s.Name, s.Variant, s.Policy, pol.QueueCap,
+		pol.ResolveColibriQueues(), pol.ResolveBackoff())
 }
 
-// queueSpecKey canonicalizes a queue curve spec.
-func queueSpecKey(s experiments.QueueSpec) string {
-	return fmt.Sprintf("%s|v%d|p%d|ms%t", s.Name, s.Variant, s.Policy, s.MS)
+// queueSpecKey canonicalizes a queue curve spec and its effective,
+// fully-resolved policy (see histSpecKey).
+func queueSpecKey(s experiments.QueueSpec, pol experiments.Policy) string {
+	return fmt.Sprintf("%s|v%d|p%d|ms%t|q%d|cq%d|bo%d",
+		s.Name, s.Variant, s.Policy, s.MS, pol.QueueCap,
+		pol.ResolveColibriQueues(), pol.ResolveBackoff())
 }
 
 // window resolves the negative literal-zero sentinel to cycles.
@@ -185,8 +313,9 @@ func window(v int) int {
 }
 
 // expand resolves a normalized job into its series skeleton and the flat
-// unit list. Series names and point slots are fully determined here, so
-// assembly is pure placement.
+// unit list. Series names and point slots are fully determined here —
+// for grid jobs one series per (spec, grid coordinate), spec-major so a
+// curve's grid variants stay adjacent — so assembly is pure placement.
 func expand(j Job) (noc.Topology, []Series, []unit, error) {
 	topo, ok := experiments.TopoByName(j.Topo)
 	if !ok {
@@ -194,21 +323,28 @@ func expand(j Job) (noc.Topology, []Series, []unit, error) {
 	}
 	prefix := j.keyPrefix(topo)
 	warmup, measure := window(j.Warmup), window(j.Measure)
+	grid := j.gridPoints()
 	var series []Series
 	var units []unit
 
 	histUnits := func(specs []experiments.HistSpec) {
-		for si, spec := range specs {
-			series = append(series, Series{Name: spec.Name, Points: make([]Point, len(j.Bins))})
-			for pi, bins := range j.Bins {
-				units = append(units, unit{
-					si: si, pi: pi, sim: true,
-					key: keyf(prefix, "%s|bins%d", histSpecKey(spec), bins),
-					run: func() Point {
-						p := experiments.RunHistogramPoint(spec, topo, bins, warmup, measure)
-						return Point{X: bins, Throughput: p.Throughput}
-					},
-				})
+		for _, spec := range specs {
+			for _, g := range grid {
+				pol := gridPolicy(spec.PolicyConfig(), g)
+				si := len(series)
+				series = append(series, Series{Name: gridName(spec.Name, g),
+					Grid: g.ref(), Points: make([]Point, len(j.Bins))})
+				for pi, bins := range j.Bins {
+					units = append(units, unit{
+						si: si, pi: pi, sim: true,
+						key: keyf(prefix, "%s|bins%d", histSpecKey(spec, pol), bins),
+						run: func() Point {
+							p := experiments.RunHistogramPointPolicy(spec, pol, topo,
+								bins, warmup, measure)
+							return Point{X: bins, Throughput: p.Throughput}
+						},
+					})
+				}
 			}
 		}
 	}
@@ -219,20 +355,25 @@ func expand(j Job) (noc.Topology, []Series, []unit, error) {
 	case Fig4:
 		histUnits(experiments.Fig4Specs())
 	case Fig5:
-		for si, c := range experiments.Fig5Curves(topo.NumCores()) {
-			series = append(series, Series{Name: c.Name, Points: make([]Point, len(j.Bins))})
-			for pi, bins := range j.Bins {
-				units = append(units, unit{
-					si: si, pi: pi, sim: true,
-					key: keyf(prefix, "%s|r%d:%d|n%d|bins%d",
-						histSpecKey(c.Spec), c.Ratio.Pollers, c.Ratio.Workers, j.MatN, bins),
-					run: func() Point {
-						p := experiments.RunInterferencePoint(c.Spec, topo, c.Ratio,
-							bins, j.MatN, warmup, measure)
-						return Point{X: bins, Rel: p.Rel,
-							BaselineOps: p.BaselineOps, LoadedOps: p.LoadedOps}
-					},
-				})
+		for _, c := range experiments.Fig5Curves(topo.NumCores()) {
+			for _, g := range grid {
+				pol := gridPolicy(c.Spec.PolicyConfig(), g)
+				si := len(series)
+				series = append(series, Series{Name: gridName(c.Name, g),
+					Grid: g.ref(), Points: make([]Point, len(j.Bins))})
+				for pi, bins := range j.Bins {
+					units = append(units, unit{
+						si: si, pi: pi, sim: true,
+						key: keyf(prefix, "%s|r%d:%d|n%d|bins%d",
+							histSpecKey(c.Spec, pol), c.Ratio.Pollers, c.Ratio.Workers, j.MatN, bins),
+						run: func() Point {
+							p := experiments.RunInterferencePointPolicy(c.Spec, pol, topo,
+								c.Ratio, bins, j.MatN, warmup, measure)
+							return Point{X: bins, Rel: p.Rel,
+								BaselineOps: p.BaselineOps, LoadedOps: p.LoadedOps}
+						},
+					})
+				}
 			}
 		}
 	case Fig6, Fig6MS:
@@ -241,18 +382,24 @@ func expand(j Job) (noc.Topology, []Series, []unit, error) {
 			specs = experiments.Fig6MSSpecs()
 		}
 		counts := experiments.Fig6Counts(topo)
-		for si, spec := range specs {
-			series = append(series, Series{Name: spec.Name, Points: make([]Point, len(counts))})
-			for pi, n := range counts {
-				units = append(units, unit{
-					si: si, pi: pi, sim: true,
-					key: keyf(prefix, "%s|active%d", queueSpecKey(spec), n),
-					run: func() Point {
-						p := experiments.RunQueuePoint(spec, topo, n, warmup, measure)
-						return Point{X: n, Throughput: p.Throughput,
-							MinPerCore: p.MinPerCore, MaxPerCore: p.MaxPerCore}
-					},
-				})
+		for _, spec := range specs {
+			for _, g := range grid {
+				pol := gridPolicy(spec.PolicyConfig(), g)
+				si := len(series)
+				series = append(series, Series{Name: gridName(spec.Name, g),
+					Grid: g.ref(), Points: make([]Point, len(counts))})
+				for pi, n := range counts {
+					units = append(units, unit{
+						si: si, pi: pi, sim: true,
+						key: keyf(prefix, "%s|active%d", queueSpecKey(spec, pol), n),
+						run: func() Point {
+							p := experiments.RunQueuePointPolicy(spec, pol, topo,
+								n, warmup, measure)
+							return Point{X: n, Throughput: p.Throughput,
+								MinPerCore: p.MinPerCore, MaxPerCore: p.MaxPerCore}
+						},
+					})
+				}
 			}
 		}
 	case TableI:
@@ -275,7 +422,7 @@ func expand(j Job) (noc.Topology, []Series, []unit, error) {
 		for pi, spec := range specs {
 			units = append(units, unit{
 				si: 0, pi: pi, sim: true,
-				key: keyf(prefix, "%s|energy", histSpecKey(spec)),
+				key: keyf(prefix, "%s|energy", histSpecKey(spec, spec.PolicyConfig())),
 				run: func() Point {
 					row := experiments.TableIIRow(spec, topo, energy.Default(), warmup, measure)
 					return Point{X: pi, Label: row.Name, Backoff: row.Backoff,

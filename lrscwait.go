@@ -134,6 +134,10 @@ func DefaultArea() AreaModel { return area.Default() }
 type (
 	// HistSpec is one histogram curve (variant × policy).
 	HistSpec = experiments.HistSpec
+	// PolicyConfig is the explicit per-point policy configuration
+	// (QueueCap, ColibriQueues, backoff) the runners thread down to the
+	// platform; the sweep engine's policy grids override it per point.
+	PolicyConfig = experiments.Policy
 	// HistSeries is a measured throughput-vs-bins curve.
 	HistSeries = experiments.HistSeries
 	// QueueSeries is a measured Fig. 6 curve.
@@ -187,11 +191,24 @@ type (
 	SweepRunner = sweep.Runner
 	// SweepResult is the assembled, deterministic output of one job.
 	SweepResult = sweep.Result
+	// SweepSeries is one labelled curve of a result.
+	SweepSeries = sweep.Series
+	// SweepPoint is one measurement of a series.
+	SweepPoint = sweep.Point
+	// SweepGridCoord labels a series with its policy-grid coordinate.
+	SweepGridCoord = sweep.GridCoord
+	// SweepGrid bundles the policy-grid axes (QueueCaps × ColibriQueues
+	// × Backoffs) as parsed from the cmd/sweep -grid flag.
+	SweepGrid = sweep.Grid
 	// SweepCache memoizes finished points on disk.
 	SweepCache = sweep.Cache
 	// SweepStats summarizes executed vs cached points of a run.
 	SweepStats = sweep.RunStats
 )
+
+// ParseSweepGrid parses the -grid flag syntax, e.g.
+// "queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64".
+func ParseSweepGrid(s string) (SweepGrid, error) { return sweep.ParseGrid(s) }
 
 // Sweepable experiment kinds.
 const (

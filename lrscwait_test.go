@@ -100,6 +100,36 @@ func TestFacadeTopologies(t *testing.T) {
 	}
 }
 
+func TestFacadeGridSweep(t *testing.T) {
+	grid, err := lrscwait.ParseSweepGrid("queuecap=0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := lrscwait.SweepJob{Kind: lrscwait.KindFig3, Topo: "small",
+		Bins: []int{1}, Warmup: 300, Measure: 1500}
+	grid.Apply(&job)
+	results, st, err := lrscwait.RunSweeps(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if len(res.Series)%2 != 0 || len(res.Series) == 0 {
+		t.Fatalf("series count %d not a multiple of the 2 grid points", len(res.Series))
+	}
+	if st.Units != len(res.Series) {
+		t.Errorf("units = %d, want one per series (1 bin)", st.Units)
+	}
+	for i, s := range res.Series {
+		if s.Grid == nil || s.Grid.QueueCap == nil {
+			t.Fatalf("series %d carries no grid coordinate", i)
+		}
+		want := "[queuecap=" + []string{"0", "1"}[i%2] + "]"
+		if !strings.HasSuffix(s.Name, want) {
+			t.Errorf("series %d name %q missing %q", i, s.Name, want)
+		}
+	}
+}
+
 func TestFacadeEnergyModel(t *testing.T) {
 	p := lrscwait.DefaultEnergy()
 	var a lrscwait.Activity
