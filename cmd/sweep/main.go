@@ -1,20 +1,31 @@
-// Command sweep regenerates any subset of the paper's figures and tables
-// in one parallel shot through the internal/sweep engine: every
-// independent simulation point of every selected experiment enters one
-// worker pool, finished points are memoized in a content-hash disk cache
-// (~/.cache/lrscwait by default), and results print as aligned tables,
-// RFC 4180 CSV, or deterministic JSON.
+// Command sweep regenerates any subset of the registered experiment
+// scenarios in one parallel shot through the internal/sweep engine:
+// every independent simulation point of every selected scenario enters
+// one worker pool, finished points are memoized in a content-hash disk
+// cache (~/.cache/lrscwait by default), and results print as aligned
+// tables, RFC 4180 CSV, or deterministic JSON.
 //
-// Beyond the paper's fixed spec sets, the -grid flag turns the policy
+// Selection is registry-driven (-kind, -list-kinds). This stock binary
+// registers the seven paper kinds; a main that additionally calls
+// lrscwait.RegisterScenario before reusing this front end's engine
+// plumbing gets its custom scenarios on the same flags (see
+// examples/customscenario for the library-side walkthrough).
+//
+// Beyond a scenario's fixed spec sets, the -grid flag turns the policy
 // parameters themselves into sweep axes: the cross-product of
 // queuecap × colibriq × backoff values runs every curve of the selected
-// figures at every grid coordinate, one labelled series each.
+// scenarios at every grid coordinate, one labelled series each. -params
+// passes free-form key=value parameters to custom scenarios that define
+// them (the built-in kinds take none, so in the stock binary -params is
+// always an error).
 //
 // Usage:
 //
 //	sweep [-fig 3,4,5,6] [-table 1,2] [-kind fig3,...,table2] [-all]
+//	      [-list-kinds]
 //	      [-topo mempool|medium|small] [-bins 1,2,4,...]
 //	      [-grid 'queuecap=0,1,2 colibriq=2,4,8 backoff=0,64']
+//	      [-params 'key=value ...']
 //	      [-warmup N] [-measure N] [-matn N] [-ms]
 //	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
 //	      [-csv] [-quiet]
@@ -22,6 +33,7 @@
 // Examples:
 //
 //	sweep -all                       # full evaluation, paper scale
+//	sweep -list-kinds                # print the scenario registry
 //	sweep -fig 3 -topo small         # one figure, 16-core machine
 //	sweep -fig 3,4,5,6 -table 1,2 -topo medium -json out/
 //	sweep -kind fig3 -grid 'queuecap=0,1,2,4'   # wait-queue sizing study
@@ -49,15 +61,6 @@ var tableKinds = map[string]sweep.Kind{
 	"1": sweep.TableI, "2": sweep.TableII,
 }
 
-// validKinds accepts the -kind selector values (the engine's kind names).
-var validKinds = func() map[sweep.Kind]bool {
-	m := map[sweep.Kind]bool{}
-	for _, k := range sweep.Kinds() {
-		m[k] = true
-	}
-	return m
-}()
-
 // splitList parses a comma-separated selector like "3,4,6".
 func splitList(s string) []string {
 	if strings.TrimSpace(s) == "" {
@@ -73,8 +76,10 @@ func splitList(s string) []string {
 func main() {
 	figs := flag.String("fig", "", "figures to regenerate (comma-separated subset of 3,4,5,6)")
 	tables := flag.String("table", "", "tables to regenerate (comma-separated subset of 1,2)")
-	kinds := flag.String("kind", "", "experiments by kind name (comma-separated subset of fig3,fig4,fig5,fig6,fig6ms,table1,table2)")
-	gridFlag := flag.String("grid", "", "policy grid for figure sweeps, e.g. 'queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
+	kinds := flag.String("kind", "", "scenarios by registered name (comma-separated; see -list-kinds)")
+	listKinds := flag.Bool("list-kinds", false, "print the registered scenario names and exit")
+	gridFlag := flag.String("grid", "", "policy grid for figure-style sweeps, e.g. 'queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
+	paramsFlag := flag.String("params", "", "parameters for custom scenarios that define them, e.g. 'kernel=amoadd iters=500' (built-in kinds take none)")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	topo := flag.String("topo", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
 	binsFlag := flag.String("bins", "", "bin counts for figs 3/4/5 (default: per-figure paper sweep)")
@@ -90,11 +95,22 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress and run statistics on stderr")
 	flag.Parse()
 
+	if *listKinds {
+		for _, name := range sweep.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
 	bins, err := sweep.ParseBins(*binsFlag)
 	if err != nil {
 		fail("%v", err)
 	}
 	grid, err := sweep.ParseGrid(*gridFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	params, err := sweep.ParseParams(*paramsFlag)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -108,9 +124,9 @@ func main() {
 	}
 
 	var jobs []sweep.Job
-	gridApplied := false
+	gridApplied, paramsApplied := false, false
 	selected := map[sweep.Kind]bool{}
-	addJob := func(kind sweep.Kind) {
+	addJob := func(kind sweep.Kind, sc sweep.Scenario) {
 		// Overlapping selectors (-all -kind fig3, -fig 3 -kind fig3) would
 		// print the figure twice and double-write its -json/-csvdir file.
 		if selected[kind] {
@@ -124,16 +140,36 @@ func main() {
 		case sweep.Fig5:
 			job.Bins = bins
 			job.MatN = *matN
-		}
-		switch kind {
-		case sweep.TableI, sweep.TableII:
-			// Grid axes don't apply to the tables; leaving them unset keeps
-			// `-all -grid ...` usable (tables run once, figures per point).
+		case sweep.Fig6, sweep.Fig6MS, sweep.TableI, sweep.TableII:
+			// The remaining built-ins sweep fixed coordinates.
 		default:
+			// Custom scenarios get the generic axes and the free-form
+			// parameters; their Normalize decides what they mean. The
+			// built-ins take no parameters, so attaching -params to them
+			// would only fork their cache identity while being silently
+			// ignored.
+			job.Bins = bins
+			job.MatN = *matN
+			job.Params = params
+			if params != nil {
+				paramsApplied = true
+			}
+		}
+		if sc.GridAxes() {
+			// Scenarios without grid axes (the tables) skip the grid;
+			// leaving it unset keeps `-all -grid ...` usable (tables run
+			// once, figure-style scenarios per grid point).
 			grid.Apply(&job)
 			gridApplied = true
 		}
 		jobs = append(jobs, job)
+	}
+	mustLookup := func(kind sweep.Kind) sweep.Scenario {
+		sc, ok := sweep.Lookup(string(kind))
+		if !ok {
+			fail("unknown kind %q (registered: %s)", kind, strings.Join(sweep.Names(), ", "))
+		}
+		return sc
 	}
 	for _, f := range figSel {
 		kind, ok := figKinds[f]
@@ -143,27 +179,29 @@ func main() {
 		if kind == sweep.Fig6 && *ms {
 			kind = sweep.Fig6MS
 		}
-		addJob(kind)
+		addJob(kind, mustLookup(kind))
 	}
 	for _, tb := range tableSel {
 		kind, ok := tableKinds[tb]
 		if !ok {
 			fail("unknown table %q (have 1,2)", tb)
 		}
-		addJob(kind)
+		addJob(kind, mustLookup(kind))
 	}
 	for _, k := range kindSel {
-		kind := sweep.Kind(k)
-		if !validKinds[kind] {
-			fail("unknown kind %q (have fig3,fig4,fig5,fig6,fig6ms,table1,table2)", k)
-		}
-		addJob(kind)
+		addJob(sweep.Kind(k), mustLookup(sweep.Kind(k)))
 	}
 
 	if !grid.IsZero() && !gridApplied {
-		// Only tables selected: silently dropping the grid would look like
-		// a successful policy sweep that never happened.
-		fail("-grid applies only to figure kinds (fig3,fig4,fig5,fig6,fig6ms)")
+		// Only grid-less scenarios selected: silently dropping the grid
+		// would look like a successful policy sweep that never happened.
+		fail("-grid applies to none of the selected kinds")
+	}
+	if params != nil && !paramsApplied {
+		// Same reasoning as the grid guard: the built-in kinds define no
+		// parameters, so a -params run over them alone would look like a
+		// successful parameterized sweep that never happened.
+		fail("-params applies to none of the selected kinds (the built-in kinds take no parameters)")
 	}
 	if *csv && len(jobs) > 1 {
 		// Concatenated CSV tables with different headers don't parse;

@@ -1,25 +1,15 @@
 package experiments
 
 import (
-	"repro/internal/energy"
 	"repro/internal/kernels"
-	"repro/internal/noc"
 	"repro/internal/platform"
-	"repro/internal/sweep/work"
 )
 
 // Table II: energy per atomic operation at the highest contention level
-// (histogram with a single bin), plus average power at 600 MHz.
-
-// EnergyRow is one Table II line.
-type EnergyRow struct {
-	Name     string
-	Backoff  int
-	PowerMW  float64
-	PJPerOp  float64
-	DeltaPct float64 // vs the Colibri row, as the paper reports
-	PaperPJ  float64 // published value for EXPERIMENTS.md comparison
-}
+// (histogram with a single bin), plus average power at 600 MHz. The
+// measurement itself is assembled by the table2 sweep scenario from
+// RunHistogramPoint activity counters and the energy model; this file
+// holds the row specs and the published reference values.
 
 // TableIISpecs returns the four rows of Table II.
 func TableIISpecs() []HistSpec {
@@ -34,57 +24,22 @@ func TableIISpecs() []HistSpec {
 // TableIIFreqMHz is the clock the paper reports average power at.
 const TableIIFreqMHz = 600
 
-var tableIIPaper = map[string]struct {
-	backoff int
-	pj      float64
-}{
+// TableIIRef is one row's published reference values: the backoff the
+// paper annotates and the reported energy per operation.
+type TableIIRef struct {
+	Backoff int
+	PJ      float64
+}
+
+var tableIIPaper = map[string]TableIIRef{
 	"amoadd":      {0, 29},
 	"colibri":     {0, 124},
 	"lrsc":        {128, 884},
 	"amoadd-lock": {128, 1092},
 }
 
-// TableIIRow measures one Table II line: the spec's histogram at bins=1
-// plus the published reference values. DeltaPct is left zero — it is
-// relative to the colibri row, so it can only be filled once all rows
-// exist (TableIIDelta). Both the serial TableII and the sweep engine
-// build their rows through here, so the formula lives in one place.
-func TableIIRow(spec HistSpec, topo noc.Topology, params energy.Params, warmup, measure int) EnergyRow {
-	p := RunHistogramPoint(spec, topo, 1, warmup, measure)
-	ref := tableIIPaper[spec.Name]
-	return EnergyRow{
-		Name:    spec.Name,
-		Backoff: ref.backoff,
-		PowerMW: params.PowerMW(p.Activity, TableIIFreqMHz),
-		PJPerOp: params.PerOpPJ(p.Activity),
-		PaperPJ: ref.pj,
-	}
-}
-
-// TableIIDelta fills each row's DeltaPct relative to the colibri row, as
-// the paper reports.
-func TableIIDelta(rows []EnergyRow) {
-	var colibriPJ float64
-	for _, r := range rows {
-		if r.Name == "colibri" {
-			colibriPJ = r.PJPerOp
-		}
-	}
-	for i := range rows {
-		if colibriPJ > 0 {
-			rows[i].DeltaPct = (rows[i].PJPerOp/colibriPJ - 1) * 100
-		}
-	}
-}
-
-// TableII measures energy per operation for the four designs at bins=1,
-// fanning the rows out across the sweep engine's worker pool.
-func TableII(topo noc.Topology, params energy.Params, warmup, measure int) []EnergyRow {
-	specs := TableIISpecs()
-	rows := make([]EnergyRow, len(specs))
-	work.Parallel().Map(len(specs), func(i int) {
-		rows[i] = TableIIRow(specs[i], topo, params, warmup, measure)
-	})
-	TableIIDelta(rows)
-	return rows
+// TableIIPaperRef returns the published Table II reference values for a
+// spec name (the zero TableIIRef for rows the paper does not report).
+func TableIIPaperRef(name string) TableIIRef {
+	return tableIIPaper[name]
 }

@@ -1,13 +1,16 @@
-// Package experiments reproduces every table and figure of the paper's
-// evaluation (Section V). Each experiment is parameterized by topology so
-// the same code runs the paper-scale 256-core sweeps (cmd tools) and
+// Package experiments holds the measurement primitives behind the
+// paper's evaluation (Section V): the per-figure curve specs (which
+// software variant under which hardware policy), the explicit Policy
+// configuration threaded down to the platform, and the single-point
+// runners every curve is built from. Each runner is parameterized by
+// topology so the same code runs the paper-scale 256-core sweeps and
 // reduced configurations (unit tests, testing.B benchmarks).
 //
-// The figure/table entry points fan their independent simulation points
-// out across GOMAXPROCS goroutines (one live platform.System per
-// worker); bound peak memory by lowering GOMAXPROCS, or use the
-// internal/sweep engine, whose Runner exposes a Workers knob plus
-// caching.
+// Orchestration — fanning points across a worker pool, policy grids,
+// caching, emitters — lives in the internal/sweep engine, where each
+// figure/table is a registered sweep.Scenario assembling these runners
+// into curves; all results share the unified sweep.Series/sweep.Point
+// measurement model.
 package experiments
 
 import (
@@ -16,7 +19,6 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
-	"repro/internal/sweep/work"
 )
 
 // DefaultBackoff is the paper's retry/spin backoff of 128 cycles.
@@ -135,12 +137,6 @@ type HistPoint struct {
 	Activity   platform.Activity
 }
 
-// HistSeries is one curve.
-type HistSeries struct {
-	Spec   HistSpec
-	Points []HistPoint
-}
-
 // buildHistogram constructs a system running the endless histogram
 // under an explicit policy configuration.
 func buildHistogram(spec HistSpec, pol Policy, topo noc.Topology, bins int, iters int) (*platform.System, kernels.HistLayout) {
@@ -166,35 +162,6 @@ func RunHistogramPointPolicy(spec HistSpec, pol Policy, topo noc.Topology, bins,
 	sys, _ := buildHistogram(spec, pol, topo, bins, 0)
 	act := sys.Measure(warmup, measure)
 	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
-}
-
-// RunHistogramSweep measures a full curve across bin counts. Points are
-// independent systems, so they fan out across the sweep engine's worker
-// pool; results are placed by index and stay deterministic.
-func RunHistogramSweep(spec HistSpec, topo noc.Topology, bins []int, warmup, measure int) HistSeries {
-	return histSweep([]HistSpec{spec}, topo, bins, warmup, measure)[0]
-}
-
-// histSweep fans every (spec, bins) point of a figure out in one pool.
-func histSweep(specs []HistSpec, topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
-	out := make([]HistSeries, len(specs))
-	for i, spec := range specs {
-		out[i] = HistSeries{Spec: spec, Points: make([]HistPoint, len(bins))}
-	}
-	work.Parallel().Map2D(len(specs), len(bins), func(si, bi int) {
-		out[si].Points[bi] = RunHistogramPoint(specs[si], topo, bins[bi], warmup, measure)
-	})
-	return out
-}
-
-// Fig3 runs the throughput-vs-contention sweep for all Fig. 3 curves.
-func Fig3(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
-	return histSweep(Fig3Specs(topo.NumCores()), topo, bins, warmup, measure)
-}
-
-// Fig4 runs the lock-comparison sweep for all Fig. 4 curves.
-func Fig4(topo noc.Topology, bins []int, warmup, measure int) []HistSeries {
-	return histSweep(Fig4Specs(), topo, bins, warmup, measure)
 }
 
 // TopoByName maps a scale name to a topology: "mempool" (256 cores, the

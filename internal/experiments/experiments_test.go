@@ -182,26 +182,40 @@ func TestFig6SingleCore(t *testing.T) {
 }
 
 func TestTableIIOrdering(t *testing.T) {
-	rows := TableII(noc.Small(), energy.Default(), 1000, 4000)
-	byName := map[string]EnergyRow{}
-	for _, r := range rows {
-		byName[r.Name] = r
-		if r.PJPerOp <= 0 {
-			t.Fatalf("%s: no energy measured", r.Name)
+	// The paper's ordering: AmoAdd < Colibri < LRSC <= AmoAdd lock,
+	// measured per row from the bins=1 histogram activity counters (the
+	// same formula the table2 sweep scenario assembles; the full-table
+	// ordering incl. deltas is pinned in internal/sweep).
+	params := energy.Default()
+	byName := map[string]float64{}
+	for _, spec := range TableIISpecs() {
+		p := RunHistogramPoint(spec, noc.Small(), 1, 1000, 4000)
+		pj := params.PerOpPJ(p.Activity)
+		if pj <= 0 {
+			t.Fatalf("%s: no energy measured", spec.Name)
 		}
+		byName[spec.Name] = pj
 	}
-	// The paper's ordering: AmoAdd < Colibri < LRSC <= AmoAdd lock.
-	if !(byName["amoadd"].PJPerOp < byName["colibri"].PJPerOp) {
+	if !(byName["amoadd"] < byName["colibri"]) {
 		t.Errorf("amoadd (%.1f pJ) not below colibri (%.1f pJ)",
-			byName["amoadd"].PJPerOp, byName["colibri"].PJPerOp)
+			byName["amoadd"], byName["colibri"])
 	}
-	if !(byName["colibri"].PJPerOp < byName["lrsc"].PJPerOp) {
+	if !(byName["colibri"] < byName["lrsc"]) {
 		t.Errorf("colibri (%.1f pJ) not below lrsc (%.1f pJ)",
-			byName["colibri"].PJPerOp, byName["lrsc"].PJPerOp)
+			byName["colibri"], byName["lrsc"])
 	}
-	if !(byName["colibri"].PJPerOp < byName["amoadd-lock"].PJPerOp) {
+	if !(byName["colibri"] < byName["amoadd-lock"]) {
 		t.Errorf("colibri (%.1f pJ) not below amoadd-lock (%.1f pJ)",
-			byName["colibri"].PJPerOp, byName["amoadd-lock"].PJPerOp)
+			byName["colibri"], byName["amoadd-lock"])
+	}
+}
+
+func TestTableIIPaperRef(t *testing.T) {
+	if ref := TableIIPaperRef("lrsc"); ref.Backoff != 128 || ref.PJ != 884 {
+		t.Errorf("lrsc ref = %+v", ref)
+	}
+	if ref := TableIIPaperRef("nonesuch"); ref != (TableIIRef{}) {
+		t.Errorf("unknown name ref = %+v", ref)
 	}
 }
 
@@ -256,6 +270,12 @@ func TestPolicyConfigAssembly(t *testing.T) {
 	}
 	if got := (QueueSpec{}).PolicyConfig(); got != (Policy{}) {
 		t.Errorf("QueueSpec.PolicyConfig = %+v (want all-defaults)", got)
+	}
+	// A queue spec's baked-in policy fields must thread through, exactly
+	// like HistSpec's (they used to be silently dropped).
+	qspec := QueueSpec{QueueCap: 3, ColibriQueues: 2, Backoff: -1}
+	if got := qspec.PolicyConfig(); got != (Policy{QueueCap: 3, ColibriQueues: 2, Backoff: -1}) {
+		t.Errorf("QueueSpec.PolicyConfig = %+v (spec fields dropped)", got)
 	}
 }
 

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"strconv"
+
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
-	"repro/internal/sweep/work"
 )
 
 // Fig. 5: matrix-multiplication workers sharing the machine with cores
@@ -40,14 +41,6 @@ type InterferencePoint struct {
 	// BaselineOps and LoadedOps are worker marks/cycle without and with
 	// pollers.
 	BaselineOps, LoadedOps float64
-}
-
-// InterferenceSeries is one Fig. 5 curve.
-type InterferenceSeries struct {
-	Name   string
-	Spec   HistSpec
-	Ratio  InterferenceRatio
-	Points []InterferencePoint
 }
 
 func haltedProgram() *isa.Program {
@@ -159,37 +152,6 @@ func Fig5Curves(nCores int) []Fig5Curve {
 	return curves
 }
 
-// Fig5 reproduces the full interference figure, fanning every
-// (curve, bins) point out across the sweep engine's worker pool.
-func Fig5(topo noc.Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
-	curves := Fig5Curves(topo.NumCores())
-	out := make([]InterferenceSeries, len(curves))
-	for i, c := range curves {
-		out[i] = InterferenceSeries{Name: c.Name, Spec: c.Spec, Ratio: c.Ratio,
-			Points: make([]InterferencePoint, len(bins))}
-	}
-	work.Parallel().Map2D(len(curves), len(bins), func(si, bi int) {
-		c := curves[si]
-		out[si].Points[bi] = RunInterferencePoint(c.Spec, topo, c.Ratio,
-			bins[bi], matN, warmup, measure)
-	})
-	return out
-}
-
 func ratioName(base string, r InterferenceRatio) string {
-	return base + " " + itoa(r.Pollers) + ":" + itoa(r.Workers)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [12]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return base + " " + strconv.Itoa(r.Pollers) + ":" + strconv.Itoa(r.Workers)
 }

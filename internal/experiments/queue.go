@@ -5,7 +5,6 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
-	"repro/internal/sweep/work"
 )
 
 // Fig. 6: concurrent-queue throughput and fairness as the number of
@@ -20,13 +19,21 @@ type QueueSpec struct {
 	Variant kernels.QueueVariant
 	Policy  platform.PolicyKind
 	MS      bool
+
+	QueueCap      int // WaitQueue slots (0 = ideal)
+	ColibriQueues int // head/tail pairs (0 = default 4)
+	// Backoff in cycles: 0 selects the paper's default of 128; a
+	// negative value selects no backoff.
+	Backoff int32
 }
 
-// PolicyConfig returns the spec's policy baseline. Queue specs carry no
-// per-spec overrides, so this is the all-defaults Policy (128-cycle
-// backoff, default Colibri queue count); the policy-grid sweeps override
-// it per point.
-func (s QueueSpec) PolicyConfig() Policy { return Policy{} }
+// PolicyConfig returns the spec's baked-in policy parameters. The
+// paper's Fig. 6 specs leave them zero (all defaults: 128-cycle backoff,
+// default Colibri queue count); the policy-grid sweeps override them per
+// point.
+func (s QueueSpec) PolicyConfig() Policy {
+	return Policy{QueueCap: s.QueueCap, ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
+}
 
 // Fig6Specs returns the three curves of Fig. 6 on the fetch-and-add ring.
 func Fig6Specs() []QueueSpec {
@@ -55,12 +62,6 @@ type QueuePoint struct {
 	Throughput float64
 	MinPerCore float64
 	MaxPerCore float64
-}
-
-// QueueSeries is one Fig. 6 curve.
-type QueueSeries struct {
-	Spec   QueueSpec
-	Points []QueuePoint
 }
 
 // RunQueuePoint measures queue accesses/cycle with nActive cores
@@ -122,17 +123,6 @@ func RunQueuePointPolicy(spec QueueSpec, pol Policy, topo noc.Topology, nActive,
 	return p
 }
 
-// Fig6 sweeps active core counts (powers of two up to the core count)
-// on the ring queue.
-func Fig6(topo noc.Topology, warmup, measure int) []QueueSeries {
-	return fig6With(Fig6Specs(), topo, warmup, measure)
-}
-
-// Fig6MS sweeps the same core counts on the Michael–Scott queue.
-func Fig6MS(topo noc.Topology, warmup, measure int) []QueueSeries {
-	return fig6With(Fig6MSSpecs(), topo, warmup, measure)
-}
-
 // Fig6Counts returns the swept active-core counts: powers of two up to
 // the topology's core count.
 func Fig6Counts(topo noc.Topology) []int {
@@ -141,16 +131,4 @@ func Fig6Counts(topo noc.Topology) []int {
 		counts = append(counts, n)
 	}
 	return counts
-}
-
-func fig6With(specs []QueueSpec, topo noc.Topology, warmup, measure int) []QueueSeries {
-	counts := Fig6Counts(topo)
-	out := make([]QueueSeries, len(specs))
-	for i, spec := range specs {
-		out[i] = QueueSeries{Spec: spec, Points: make([]QueuePoint, len(counts))}
-	}
-	work.Parallel().Map2D(len(specs), len(counts), func(si, ci int) {
-		out[si].Points[ci] = RunQueuePoint(specs[si], topo, counts[ci], warmup, measure)
-	})
-	return out
 }

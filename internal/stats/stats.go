@@ -61,6 +61,11 @@ func (t *Table) String() string {
 		}
 		sb.WriteString("\n")
 	}
+	// A headerless table (e.g. a scenario that expanded to no series)
+	// renders as just its title: no header line, separator, or rows.
+	if len(widths) == 0 {
+		return sb.String()
+	}
 	writeRow(t.Header)
 	total := len(widths) - 1
 	for _, w := range widths {
@@ -77,6 +82,11 @@ func (t *Table) String() string {
 // containing commas, quotes or line breaks are quoted, with embedded
 // quotes doubled, so the output loads in standard CSV parsers.
 func (t *Table) CSV() string {
+	// A headerless table renders as empty CSV, not a lone newline
+	// (mirroring String()'s zero-column handling).
+	if len(t.Header) == 0 && len(t.Rows) == 0 {
+		return ""
+	}
 	var sb strings.Builder
 	writeRow := func(cells []string) {
 		for i, c := range cells {

@@ -88,3 +88,21 @@ func TestRatio(t *testing.T) {
 		t.Errorf("Ratio by zero = %q", Ratio(1, 0))
 	}
 }
+
+// A headerless table (a sweep scenario may expand to zero series) must
+// render its title without panicking on the zero-width separator.
+func TestHeaderlessTable(t *testing.T) {
+	tbl := NewTable("only title")
+	if got := tbl.String(); got != "only title\n" {
+		t.Errorf("headerless String() = %q", got)
+	}
+	if got := NewTable("").String(); got != "" {
+		t.Errorf("empty table String() = %q", got)
+	}
+}
+
+func TestHeaderlessCSV(t *testing.T) {
+	if got := NewTable("only title").CSV(); got != "" {
+		t.Errorf("headerless CSV() = %q, want empty", got)
+	}
+}

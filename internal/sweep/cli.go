@@ -85,6 +85,30 @@ func (g Grid) Apply(j *Job) {
 	j.Backoffs = g.Backoffs
 }
 
+// ParseParams parses the -params flag syntax: whitespace-separated
+// key=value clauses, e.g. "kernel=amoadd iters=500". Keys and values are
+// opaque to the engine — scenarios interpret them in Normalize/Curves —
+// but every entry is part of the cache identity. The empty string parses
+// to nil. A repeated key is an error: silently keeping one of two values
+// would sweep something other than what was asked.
+func ParseParams(s string) (map[string]string, error) {
+	var params map[string]string
+	for _, clause := range strings.Fields(s) {
+		k, v, ok := strings.Cut(clause, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad params clause %q (want key=value)", clause)
+		}
+		if _, dup := params[k]; dup {
+			return nil, fmt.Errorf("duplicate params key %q", k)
+		}
+		if params == nil {
+			params = map[string]string{}
+		}
+		params[k] = v
+	}
+	return params, nil
+}
+
 // OpenCacheFlag resolves a -cache flag value: "off"/"none" disables
 // caching, "on"/"default" selects the user cache dir, "" follows the
 // tool's default (defaultOn), and anything else is a directory path.

@@ -236,12 +236,13 @@ func TestGridRestatedDefaultSharesKeys(t *testing.T) {
 	}
 }
 
-// TestCacheVersionBumpInvalidatesPreGrid pins the v2 bump: every unit
-// key now carries the v2 prefix, and an entry stored under the
-// corresponding v1-era key is never served for it.
-func TestCacheVersionBumpInvalidatesPreGrid(t *testing.T) {
-	if cacheVersion == "v1" {
-		t.Fatal("cacheVersion not bumped for the grid axes")
+// TestCacheVersionBumpInvalidatesOldEntries pins the v3 bump: every
+// unit key now carries the v3 prefix, and entries stored under the
+// corresponding earlier-era keys (v1 pre-grid, v2 pre-registry) are
+// never served for it.
+func TestCacheVersionBumpInvalidatesOldEntries(t *testing.T) {
+	if cacheVersion == "v1" || cacheVersion == "v2" {
+		t.Fatal("cacheVersion not bumped for the scenario-owned keys")
 	}
 	keys := unitKeys(t, testJob(Fig3))
 	cache, err := OpenCache(t.TempDir())
@@ -252,14 +253,14 @@ func TestCacheVersionBumpInvalidatesPreGrid(t *testing.T) {
 		if !strings.HasPrefix(k, cacheVersion+"|") {
 			t.Fatalf("key %q does not start with %q", k, cacheVersion+"|")
 		}
-		// A pre-grid cache entry lived under the v1 prefix; it must be
-		// invisible to the current key.
-		old := "v1|" + strings.TrimPrefix(k, cacheVersion+"|")
-		if err := cache.Put(old, Point{X: -1, Throughput: 99}); err != nil {
-			t.Fatal(err)
+		for _, oldVersion := range []string{"v1", "v2"} {
+			old := oldVersion + "|" + strings.TrimPrefix(k, cacheVersion+"|")
+			if err := cache.Put(old, Point{X: -1, Throughput: 99}); err != nil {
+				t.Fatal(err)
+			}
 		}
 		if _, ok := cache.Get(k); ok {
-			t.Fatalf("v1-era entry served for v2 key %q", k)
+			t.Fatalf("old-era entry served for %s key %q", cacheVersion, k)
 		}
 	}
 }

@@ -2,21 +2,44 @@ package sweep
 
 import (
 	"encoding/json"
-	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
-	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
-// Point is one sweep measurement. It is a union across experiment kinds:
-// figure sweeps fill X plus the throughput/interference fields, table
-// rows fill Label plus the model fields. Zero-valued fields are omitted
-// from JSON, so every kind serializes only what it measures.
+// Well-known metric names: the measurements the built-in scenarios fill.
+// Point.Metric and Point.SetMetric map them onto the corresponding
+// struct fields; any other name lands in the free-form Extra map, so
+// custom scenarios can define their own metrics and still flow through
+// the same cache, emitters and generic table.
+const (
+	MetricThroughput  = "throughput"
+	MetricMinPerCore  = "min_per_core"
+	MetricMaxPerCore  = "max_per_core"
+	MetricRel         = "rel"
+	MetricBaselineOps = "baseline_ops"
+	MetricLoadedOps   = "loaded_ops"
+	MetricBackoff     = "backoff"
+	MetricPowerMW     = "power_mw"
+	MetricEnergyPJ    = "energy_pj"
+	MetricDeltaPct    = "delta_pct"
+	MetricPaperPJ     = "paper_pj"
+	MetricAreaKGE     = "area_kge"
+	MetricOverheadPct = "overhead_pct"
+	MetricPaperKGE    = "paper_kge"
+)
+
+// Point is one sweep measurement: a coordinate (X, optionally Label and
+// Params) plus named metrics. The well-known metrics are struct fields
+// — a union across the built-in scenarios, each serializing only what it
+// measures thanks to omitempty — and scenario-defined metrics live in
+// Extra. Access uniformly through Metric/SetMetric/Metrics.
 type Point struct {
 	// X is the swept coordinate: bin count (fig3/4/5), active core
-	// count (fig6), or row index (tables).
+	// count (fig6), row index (tables), or whatever a custom scenario
+	// sweeps.
 	X     int    `json:"x"`
 	Label string `json:"label,omitempty"` // table row name
 
@@ -42,6 +65,77 @@ type Point struct {
 	AreaKGE     float64 `json:"areaKGE,omitempty"`
 	OverheadPct float64 `json:"overheadPct,omitempty"`
 	PaperKGE    float64 `json:"paperKGE,omitempty"`
+
+	// Extra holds scenario-defined metrics beyond the well-known set.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// metricFields maps the well-known metric names to their Point fields.
+var metricFields = map[string]func(*Point) *float64{
+	MetricThroughput:  func(p *Point) *float64 { return &p.Throughput },
+	MetricMinPerCore:  func(p *Point) *float64 { return &p.MinPerCore },
+	MetricMaxPerCore:  func(p *Point) *float64 { return &p.MaxPerCore },
+	MetricRel:         func(p *Point) *float64 { return &p.Rel },
+	MetricBaselineOps: func(p *Point) *float64 { return &p.BaselineOps },
+	MetricLoadedOps:   func(p *Point) *float64 { return &p.LoadedOps },
+	MetricPowerMW:     func(p *Point) *float64 { return &p.PowerMW },
+	MetricEnergyPJ:    func(p *Point) *float64 { return &p.PJPerOp },
+	MetricDeltaPct:    func(p *Point) *float64 { return &p.DeltaPct },
+	MetricPaperPJ:     func(p *Point) *float64 { return &p.PaperPJ },
+	MetricAreaKGE:     func(p *Point) *float64 { return &p.AreaKGE },
+	MetricOverheadPct: func(p *Point) *float64 { return &p.OverheadPct },
+	MetricPaperKGE:    func(p *Point) *float64 { return &p.PaperKGE },
+}
+
+// Metric returns the named measurement. Matching the JSON encoding's
+// omitempty convention, a zero-valued well-known metric reads as absent;
+// Extra entries are present whatever their value.
+func (p Point) Metric(name string) (float64, bool) {
+	if name == MetricBackoff {
+		return float64(p.Backoff), p.Backoff != 0
+	}
+	if f, ok := metricFields[name]; ok {
+		v := *f(&p)
+		return v, v != 0
+	}
+	v, ok := p.Extra[name]
+	return v, ok
+}
+
+// SetMetric stores the named measurement, into the matching struct field
+// for a well-known name and into Extra otherwise.
+func (p *Point) SetMetric(name string, v float64) {
+	if name == MetricBackoff {
+		p.Backoff = int(v)
+		return
+	}
+	if f, ok := metricFields[name]; ok {
+		*f(p) = v
+		return
+	}
+	if p.Extra == nil {
+		p.Extra = map[string]float64{}
+	}
+	p.Extra[name] = v
+}
+
+// Metrics returns the sorted names of the point's present metrics
+// (nonzero well-known fields plus every Extra entry).
+func (p Point) Metrics() []string {
+	var names []string
+	for name := range metricFields {
+		if _, ok := p.Metric(name); ok {
+			names = append(names, name)
+		}
+	}
+	if p.Backoff != 0 {
+		names = append(names, MetricBackoff)
+	}
+	for name := range p.Extra {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // GridCoord identifies one point of a policy grid: which axes the job
@@ -113,94 +207,17 @@ func (r *Result) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// Table renders the result in the layout of the original per-figure cmd
-// tool, so `cmd/sweep -fig 3` prints what `cmd/histogram` always printed.
+// Table renders the result through its scenario's TableRenderer — the
+// built-in kinds keep the layouts of the original per-figure cmd tools,
+// so `cmd/sweep -fig 3` prints what `cmd/histogram` always printed —
+// falling back to the generic metric table for scenarios without one.
 func (r *Result) Table() *stats.Table {
-	switch r.Job.Kind {
-	case Fig3, Fig4:
-		title := "Fig. 3 — histogram updates/cycle vs #bins"
-		if r.Job.Kind == Fig4 {
-			title = "Fig. 4 — lock implementations, histogram updates/cycle vs #bins"
+	if sc, ok := Lookup(string(r.Job.Kind)); ok {
+		if tr, ok := sc.(TableRenderer); ok {
+			return tr.Table(r)
 		}
-		header := []string{"#bins"}
-		for _, s := range r.Series {
-			header = append(header, s.Name)
-		}
-		t := stats.NewTable(fmt.Sprintf("%s (%d cores, warmup %d, measure %d)",
-			title, r.Cores, window(r.Job.Warmup), window(r.Job.Measure)), header...)
-		for i, bins := range r.Job.Bins {
-			row := []string{strconv.Itoa(bins)}
-			for _, s := range r.Series {
-				row = append(row, stats.F(s.Points[i].Throughput, 4))
-			}
-			t.Add(row...)
-		}
-		return t
-	case Fig5:
-		header := []string{"#bins"}
-		for _, s := range r.Series {
-			header = append(header, s.Name)
-		}
-		t := stats.NewTable(fmt.Sprintf(
-			"Fig. 5 — relative matmul throughput under atomics interference (%d cores)",
-			r.Cores), header...)
-		for i, bins := range r.Job.Bins {
-			row := []string{strconv.Itoa(bins)}
-			for _, s := range r.Series {
-				row = append(row, stats.F(s.Points[i].Rel, 3))
-			}
-			t.Add(row...)
-		}
-		return t
-	case Fig6, Fig6MS:
-		header := []string{"#cores"}
-		for _, s := range r.Series {
-			header = append(header, s.Name, s.Name+"-min", s.Name+"-max")
-		}
-		t := stats.NewTable(fmt.Sprintf(
-			"Fig. 6 — queue accesses/cycle vs #cores (%d-core system; min/max = per-core band)",
-			r.Cores), header...)
-		if len(r.Series) == 0 {
-			return t
-		}
-		for i := range r.Series[0].Points {
-			row := []string{strconv.Itoa(r.Series[0].Points[i].X)}
-			for _, s := range r.Series {
-				p := s.Points[i]
-				row = append(row, stats.F(p.Throughput, 4),
-					stats.F(p.MinPerCore, 5), stats.F(p.MaxPerCore, 5))
-			}
-			t.Add(row...)
-		}
-		return t
-	case TableI:
-		t := stats.NewTable("Table I — area of a mempool_tile with different LRSCwait designs",
-			"architecture", "parameters", "model kGE", "model %", "paper kGE")
-		for _, p := range r.points() {
-			paper := "-"
-			if p.PaperKGE > 0 {
-				paper = stats.F(p.PaperKGE, 0)
-			}
-			t.Add(p.Label, p.Params, stats.F(p.AreaKGE, 1),
-				stats.F(100+p.OverheadPct, 1), paper)
-		}
-		return t
-	case TableII:
-		t := stats.NewTable(fmt.Sprintf(
-			"Table II — energy per atomic access at highest contention (%d cores, %d MHz)",
-			r.Cores, experiments.TableIIFreqMHz),
-			"atomic access", "backoff", "power (mW)", "energy (pJ/op)", "delta", "paper pJ/op")
-		for _, p := range r.points() {
-			delta := "±0%"
-			if p.DeltaPct != 0 {
-				delta = fmt.Sprintf("%+.0f%%", p.DeltaPct)
-			}
-			t.Add(p.Label, strconv.Itoa(p.Backoff), stats.F(p.PowerMW, 1),
-				stats.F(p.PJPerOp, 0), delta, stats.F(p.PaperPJ, 0))
-		}
-		return t
 	}
-	return stats.NewTable(string(r.Job.Kind))
+	return genericTable(r)
 }
 
 // points returns the single series of a table-kind result (empty when

@@ -1,0 +1,274 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// Scenario is one registrable experiment: a named workload that expands
+// a Job into measurable curves. The engine owns everything generic —
+// topology resolution, policy-grid cross-products, the worker pool, the
+// disk cache, and the JSON/CSV/table emitters — so a scenario only
+// describes what to measure. Implementations registered with Register
+// (or the lrscwait.RegisterScenario facade) are addressable by name from
+// Job.Kind and the cmd/sweep -kind flag exactly like the built-in
+// figure/table kinds.
+//
+// A scenario may additionally implement Finalizer (cross-point derived
+// values) and TableRenderer (a custom aligned-table layout); without the
+// latter, results render through a generic metric table.
+type Scenario interface {
+	// Name is the registry key: the Job.Kind value, the -kind selector,
+	// and the default output file stem.
+	Name() string
+
+	// Normalize fills the scenario's parameter defaults into the job
+	// (simulation windows, swept coordinates, Params entries) and
+	// validates scenario-specific fields. The engine has already
+	// resolved the topology and applies the shared validation — positive
+	// bins, canonical grid axes — after this returns. The returned job
+	// is what keys the cache and is recorded in the Result, so two specs
+	// that normalize identically share cached points.
+	Normalize(job Job, topo noc.Topology) (Job, error)
+
+	// GridAxes reports whether the policy-grid axes (QueueCaps ×
+	// ColibriQueues × Backoffs) apply to this scenario. Normalize
+	// rejects grid jobs for scenarios without them.
+	GridAxes() bool
+
+	// Curves expands the normalized job into its logical series. The
+	// engine cross-products every curve with the job's grid coordinates:
+	// one result series per (curve, coordinate), curve-major, each
+	// holding NumPoints independently scheduled points.
+	Curves(topo noc.Topology, job Job) ([]Curve, error)
+}
+
+// Finalizer is an optional Scenario extension: Finalize computes
+// cross-point derived values after all units of a job have landed
+// (cached or executed). It must never feed the cache, so cached and
+// freshly-run results finalize identically.
+type Finalizer interface {
+	Finalize(r *Result)
+}
+
+// TableRenderer is an optional Scenario extension: Table renders a
+// finished result in a scenario-specific aligned-table layout (which
+// also defines the CSV column set). Scenarios without it render through
+// the generic metric table.
+type TableRenderer interface {
+	Table(r *Result) *stats.Table
+}
+
+// Curve is one logical series of a scenario before policy-grid
+// expansion: a name and the per-point measurement hooks. The engine
+// calls Key and Run once per (grid coordinate, point index) pair; both
+// must be safe for concurrent use and deterministic, because Key is the
+// cache identity of the value Run produces.
+type Curve struct {
+	// Name labels the series; grid coordinates are suffixed by the
+	// engine.
+	Name string
+	// NumPoints is the curve's point count.
+	NumPoints int
+	// Sim reports whether computing a point runs a simulation (pure
+	// model arithmetic doesn't; it only affects RunStats accounting).
+	Sim bool
+	// Key returns the cache-key fragment of point pt under grid
+	// coordinate g: everything that determines the point's value beyond
+	// the engine's own prefix (scenario name, topology shape, windows,
+	// Params). Return "" — or leave Key nil — for uncacheable points.
+	// Grid coordinates must be keyed by their effective, fully-resolved
+	// policy (see GridCoord.Merge) so a coordinate that merely restates
+	// a default hits the same entry as the grid-free run.
+	Key func(g GridCoord, pt int) string
+	// Run measures point pt under grid coordinate g.
+	Run func(g GridCoord, pt int) Point
+}
+
+// The package scenario registry. Built-in kinds register at init; custom
+// scenarios register through Register / lrscwait.RegisterScenario.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the package registry, making it
+// addressable from Job.Kind, cmd/sweep -kind, and -list-kinds. A
+// duplicate or empty name is rejected so two packages cannot silently
+// shadow each other's workloads.
+func Register(s Scenario) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("sweep: cannot register a scenario with an empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("sweep: scenario %q already registered", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Intended for package
+// init of scenario libraries.
+func MustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// namesList renders the registry for error messages.
+func namesList() string {
+	names := Names()
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}
+
+// genericTable renders a result for scenarios without a TableRenderer:
+// one row per point index, coordinate columns (x, and label when any
+// point carries one), and one column per (series, metric) pair. When all
+// series share one coordinate sequence the x/label columns are shared;
+// otherwise each series gets its own, so measurements are never paired
+// with another curve's coordinates. The layout is a readable default,
+// not a stable format — scenarios that need a fixed layout implement
+// TableRenderer.
+func genericTable(r *Result) *stats.Table {
+	if len(r.Series) == 0 {
+		// A scenario may legitimately expand to no curves (its job
+		// selected no work); render an empty table rather than panic.
+		return stats.NewTable(fmt.Sprintf("%s (%d cores)", r.Job.Kind, r.Cores))
+	}
+	// The column set is the union of metric names across all points of a
+	// series, so sparsely-set metrics still appear.
+	metricsOf := func(s Series) []string {
+		set := map[string]bool{}
+		for _, p := range s.Points {
+			for _, m := range p.Metrics() {
+				set[m] = true
+			}
+		}
+		names := make([]string, 0, len(set))
+		for m := range set {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		return names
+	}
+	hasLabel := false
+	rows := 0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Label != "" {
+				hasLabel = true
+			}
+		}
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	// Series share the x/label columns only when every curve sweeps the
+	// same coordinate sequence.
+	uniform := true
+	for _, s := range r.Series[1:] {
+		if len(s.Points) != len(r.Series[0].Points) {
+			uniform = false
+			break
+		}
+		for i, p := range s.Points {
+			if p.X != r.Series[0].Points[i].X || p.Label != r.Series[0].Points[i].Label {
+				uniform = false
+				break
+			}
+		}
+	}
+	prefix := func(si int, name string) string {
+		if len(r.Series) > 1 {
+			return r.Series[si].Name + "/" + name
+		}
+		return name
+	}
+	// A column is either a coordinate ("x", "label") or a metric of one
+	// series; every cell reads from its own series' points.
+	type col struct {
+		si   int
+		name string // "x", "label", or a metric name
+	}
+	var header []string
+	var cols []col
+	addCoords := func(si int, shared bool) {
+		xName, labelName := prefix(si, "x"), prefix(si, "label")
+		if shared {
+			xName, labelName = "x", "label"
+		}
+		header = append(header, xName)
+		cols = append(cols, col{si, "x"})
+		if hasLabel {
+			header = append(header, labelName)
+			cols = append(cols, col{si, "label"})
+		}
+	}
+	if uniform {
+		addCoords(0, true)
+	}
+	for si, s := range r.Series {
+		if !uniform {
+			addCoords(si, false)
+		}
+		for _, m := range metricsOf(s) {
+			header = append(header, prefix(si, m))
+			cols = append(cols, col{si, m})
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("%s (%d cores)", r.Job.Kind, r.Cores), header...)
+	for i := 0; i < rows; i++ {
+		var row []string
+		for _, c := range cols {
+			pts := r.Series[c.si].Points
+			cell := ""
+			if i < len(pts) {
+				switch c.name {
+				case "x":
+					cell = strconv.Itoa(pts[i].X)
+				case "label":
+					cell = pts[i].Label
+				default:
+					if v, ok := pts[i].Metric(c.name); ok {
+						cell = strconv.FormatFloat(v, 'g', -1, 64)
+					}
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Add(row...)
+	}
+	return t
+}

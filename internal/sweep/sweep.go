@@ -1,10 +1,16 @@
 // Package sweep is the parallel sweep orchestration engine: it turns a
-// declarative Job (experiment kind × topology × parameters) into the set
-// of independent simulation points behind the paper's figures and tables,
-// fans those points out across a worker pool (every point is its own
-// deterministic platform.System), memoizes finished points in a
+// declarative Job (scenario kind × topology × parameters) into the set
+// of independent simulation points behind an experiment's figures and
+// tables, fans those points out across a worker pool (every point is its
+// own deterministic platform.System), memoizes finished points in a
 // content-hash disk cache, and assembles structured Results with JSON,
 // CSV and aligned-table emitters.
+//
+// Workloads are open: an experiment is a Scenario registered by name
+// (see Register), and the engine is written once against that interface
+// — worker pool, policy-grid cross-products, caching and emitters apply
+// to custom scenarios exactly as to the built-in paper kinds, which are
+// themselves registered scenarios (scenarios.go).
 //
 // The engine guarantees deterministic output: results are placed by
 // index, never by completion order, so a sweep run on one worker is
@@ -15,17 +21,17 @@ package sweep
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
-	"repro/internal/area"
-	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/noc"
 )
 
-// Kind names one experiment of the paper's evaluation.
+// Kind names one registered scenario (see Register / Names).
 type Kind string
 
-// The experiment kinds the engine can sweep.
+// The built-in scenario kinds: the experiments of the paper's evaluation.
 const (
 	Fig3    Kind = "fig3"   // histogram throughput vs contention
 	Fig4    Kind = "fig4"   // lock implementations vs contention
@@ -36,37 +42,30 @@ const (
 	TableII Kind = "table2" // energy per atomic access
 )
 
-// Kinds lists every experiment kind in presentation order.
+// Kinds lists the built-in kinds in presentation order. Names lists
+// every registered scenario, including custom ones.
 func Kinds() []Kind {
 	return []Kind{Fig3, Fig4, Fig5, Fig6, Fig6MS, TableI, TableII}
 }
 
 // cacheVersion invalidates every cached point when the simulator or the
-// calibrated models change incompatibly. v2: policy-grid axes — unit
-// keys now carry the effective (possibly grid-overridden) policy, so
-// every pre-grid entry is stale.
-const cacheVersion = "v2"
+// calibrated models change incompatibly. v3: the registry-based Scenario
+// API — cache keys are scenario-owned (engine prefix + Curve.Key
+// fragment), so every pre-registry entry is stale.
+const cacheVersion = "v3"
 
-// Per-kind default simulation parameters, shared by Job.Normalize and
-// the legacy cmd tools' flag defaults so the two paths cannot drift.
-const (
-	DefaultHistWarmup, DefaultHistMeasure       = 3000, 10000 // fig3, fig4
-	DefaultFig5Warmup, DefaultFig5Measure       = 4000, 20000
-	DefaultFig6Warmup, DefaultFig6Measure       = 3000, 12000
-	DefaultTableIIWarmup, DefaultTableIIMeasure = 4000, 20000
-	DefaultMatN                                 = 128
-)
-
-// Job is a declarative sweep specification. Zero-valued fields select the
-// per-kind defaults of the original cmd tools (see Normalize).
+// Job is a declarative sweep specification. Zero-valued fields select
+// the scenario's defaults (see Normalize and Scenario.Normalize).
 type Job struct {
 	Kind Kind   `json:"kind"`
 	Topo string `json:"topo"` // experiments.TopoByName key; default "mempool"
 
-	// Bins overrides the swept histogram bin counts (fig3, fig4, fig5).
+	// Bins overrides the swept coordinate values of scenarios with a
+	// bins-like axis (fig3, fig4, fig5; custom scenarios may reuse it as
+	// their generic sweep coordinate).
 	Bins []int `json:"bins,omitempty"`
 	// Warmup and Measure are the simulation windows in cycles. Zero
-	// selects the per-kind default; a negative value requests a literal
+	// selects the scenario default; a negative value requests a literal
 	// zero-cycle window (the same convention as HistSpec.Backoff).
 	Warmup  int `json:"warmup"`
 	Measure int `json:"measure"`
@@ -75,19 +74,36 @@ type Job struct {
 	// Cores is the table1 ideal-queue extrapolation core count.
 	Cores int `json:"cores,omitempty"`
 
-	// Policy-grid axes (figure kinds only). Each non-empty axis overrides
-	// the corresponding policy parameter on every curve spec of the kind,
-	// and the cross-product of all set axes multiplies the series set:
-	// one labelled series per (spec, grid coordinate), whose points
-	// cross-product with Bins (or the fig6 core counts) into independent
-	// units. Values are literal: QueueCaps in WaitQueue slots (0 = ideal,
-	// one per core), ColibriQueues in head/tail pairs (>= 1), Backoffs in
-	// cycles (0 = literally no backoff). Empty axes leave the spec's
-	// baked-in parameters untouched; all-empty reproduces the grid-free
-	// sweep exactly.
+	// Policy-grid axes (scenarios with GridAxes only). Each non-empty
+	// axis overrides the corresponding policy parameter on every curve
+	// of the scenario, and the cross-product of all set axes multiplies
+	// the series set: one labelled series per (curve, grid coordinate),
+	// whose points cross-product with the curve's own coordinate into
+	// independent units. Values are literal: QueueCaps in WaitQueue
+	// slots (0 = ideal, one per core), ColibriQueues in head/tail pairs
+	// (>= 1), Backoffs in cycles (0 = literally no backoff). Empty axes
+	// leave the curves' baked-in parameters untouched; all-empty
+	// reproduces the grid-free sweep exactly.
 	QueueCaps     []int `json:"queueCaps,omitempty"`
 	ColibriQueues []int `json:"colibriQueues,omitempty"`
 	Backoffs      []int `json:"backoffs,omitempty"`
+
+	// Params carries free-form scenario-defined parameters (custom
+	// scenarios read them in Normalize/Curves; the built-in kinds take
+	// none). Every entry is part of the cache identity.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// defaultWindows fills zero simulation windows with scenario defaults;
+// the negative literal-zero sentinel survives. Scenario Normalize
+// implementations call it.
+func (j *Job) defaultWindows(warmup, measure int) {
+	if j.Warmup == 0 {
+		j.Warmup = warmup
+	}
+	if j.Measure == 0 {
+		j.Measure = measure
+	}
 }
 
 // HasGrid reports whether any policy-grid axis is set.
@@ -120,22 +136,6 @@ func (j Job) gridPoints() []GridCoord {
 	return coords
 }
 
-// gridPolicy merges a grid coordinate over a spec's baked-in policy.
-// Grid backoffs are literal cycles, so they are re-encoded in the
-// Policy convention (0 cycles -> the negative no-backoff sentinel).
-func gridPolicy(base experiments.Policy, g GridCoord) experiments.Policy {
-	if g.QueueCap != nil {
-		base.QueueCap = *g.QueueCap
-	}
-	if g.ColibriQueues != nil {
-		base.ColibriQueues = *g.ColibriQueues
-	}
-	if g.Backoff != nil {
-		base.Backoff = experiments.LiteralBackoff(*g.Backoff)
-	}
-	return base
-}
-
 // gridName suffixes a series name with its grid coordinate.
 func gridName(name string, g GridCoord) string {
 	if g.IsZero() {
@@ -144,13 +144,17 @@ func gridName(name string, g GridCoord) string {
 	return name + " [" + g.Label() + "]"
 }
 
-// Normalize fills per-kind defaults (matching the historical cmd tools)
-// and validates the job. Grid axes are canonicalized — sorted ascending
-// with duplicates removed — so value order can never fork cache
-// identities. The returned job is what keys the cache and is recorded in
-// the Result, so two specs that normalize identically share cached
-// points.
+// Normalize resolves the job's scenario from the registry, fills the
+// scenario's defaults, and applies the shared validation. Grid axes are
+// canonicalized — sorted ascending with duplicates removed — so value
+// order can never fork cache identities. The returned job is what keys
+// the cache and is recorded in the Result, so two specs that normalize
+// identically share cached points.
 func (j Job) Normalize() (Job, error) {
+	sc, ok := Lookup(string(j.Kind))
+	if !ok {
+		return j, fmt.Errorf("sweep: unknown kind %q (registered: %s)", j.Kind, namesList())
+	}
 	if j.Topo == "" {
 		j.Topo = "mempool"
 	}
@@ -158,38 +162,12 @@ func (j Job) Normalize() (Job, error) {
 	if !ok {
 		return j, fmt.Errorf("sweep: unknown topology %q", j.Topo)
 	}
-	windows := func(warmup, measure int) {
-		if j.Warmup == 0 {
-			j.Warmup = warmup
-		}
-		if j.Measure == 0 {
-			j.Measure = measure
-		}
+	if len(j.Params) == 0 {
+		j.Params = nil
 	}
-	switch j.Kind {
-	case Fig3, Fig4:
-		windows(DefaultHistWarmup, DefaultHistMeasure)
-		if len(j.Bins) == 0 {
-			j.Bins = experiments.StandardBins(topo)
-		}
-	case Fig5:
-		windows(DefaultFig5Warmup, DefaultFig5Measure)
-		if len(j.Bins) == 0 {
-			j.Bins = []int{1, 4, 8, 12, 16}
-		}
-		if j.MatN == 0 {
-			j.MatN = DefaultMatN
-		}
-	case Fig6, Fig6MS:
-		windows(DefaultFig6Warmup, DefaultFig6Measure)
-	case TableI:
-		if j.Cores == 0 {
-			j.Cores = topo.NumCores()
-		}
-	case TableII:
-		windows(DefaultTableIIWarmup, DefaultTableIIMeasure)
-	default:
-		return j, fmt.Errorf("sweep: unknown kind %q", j.Kind)
+	j, err := sc.Normalize(j, topo)
+	if err != nil {
+		return j, err
 	}
 	for _, b := range j.Bins {
 		if b <= 0 {
@@ -197,8 +175,7 @@ func (j Job) Normalize() (Job, error) {
 		}
 	}
 	if j.HasGrid() {
-		switch j.Kind {
-		case TableI, TableII:
+		if !sc.GridAxes() {
 			return j, fmt.Errorf("sweep: policy-grid axes do not apply to %s", j.Kind)
 		}
 		j.QueueCaps = canonAxis(j.QueueCaps)
@@ -244,8 +221,8 @@ func canonAxis(vals []int) []int {
 
 // unit is one independent point of a sweep: where its result goes
 // (series/point index), its cache identity, whether computing it runs a
-// simulation (tables of pure model arithmetic don't), and how to compute
-// it. Units with an empty key are never cached.
+// simulation (pure model arithmetic doesn't), and how to compute it.
+// Units with an empty key are never cached.
 type unit struct {
 	si, pi int
 	key    string
@@ -256,52 +233,39 @@ type unit struct {
 // keyPrefix canonicalizes everything every unit of the job shares. The
 // topology is keyed by its full shape (per-tile and per-group structure,
 // not just totals — grouping changes NoC distances), so a renamed alias
-// of the same machine still hits while a restructured one misses. The
-// binary fingerprint invalidates the cache whenever the simulator itself
-// is rebuilt with different code; when the binary cannot be
-// fingerprinted the prefix is empty, which disables caching entirely —
-// running fresh is always safe, serving stale never is.
+// of the same machine still hits while a restructured one misses; the
+// scenario-defined Params enter sorted so map order cannot fork
+// identities. The binary fingerprint invalidates the cache whenever the
+// simulator itself is rebuilt with different code; when the binary
+// cannot be fingerprinted the prefix is empty, which disables caching
+// entirely — running fresh is always safe, serving stale never is.
 func (j Job) keyPrefix(topo noc.Topology) string {
 	fp := binaryFingerprint()
 	if fp == "" {
 		return ""
 	}
-	return fmt.Sprintf("%s|%s|%s|ct%d|bt%d|tg%d|g%d|w%d|m%d",
+	prefix := fmt.Sprintf("%s|%s|%s|ct%d|bt%d|tg%d|g%d|w%d|m%d",
 		cacheVersion, fp, j.Kind,
 		topo.CoresPerTile, topo.BanksPerTile, topo.TilesPerGroup, topo.NumGroups,
 		window(j.Warmup), window(j.Measure))
-}
-
-// keyf builds a unit cache key, or "" (uncacheable) when the job prefix
-// is empty.
-func keyf(prefix, format string, args ...any) string {
-	if prefix == "" {
-		return ""
+	if len(j.Params) > 0 {
+		keys := make([]string, 0, len(j.Params))
+		for k := range j.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteString(prefix)
+		for _, k := range keys {
+			// Quoted, not raw: a value containing the key separators
+			// ("a" = "1|b=2") must never collapse onto a different map
+			// ({"a":"1","b":"2"}) — strconv.Quote escapes embedded
+			// quotes, so the encoding is injective.
+			fmt.Fprintf(&sb, "|%s=%s", strconv.Quote(k), strconv.Quote(j.Params[k]))
+		}
+		prefix = sb.String()
 	}
-	return prefix + "|" + fmt.Sprintf(format, args...)
-}
-
-// histSpecKey canonicalizes a histogram curve spec together with the
-// effective policy it runs under. The policy is keyed fully resolved —
-// backoff in literal cycles, Colibri queues as the count the platform
-// instantiates — so a grid value that merely restates a default (e.g.
-// backoff=128 or colibriq=4) hits the same cache entry as the grid-free
-// run: it is the same simulation. Jobs differing in any effective axis
-// get distinct keys. QueueCap stays literal: 0 (ideal, one slot per
-// core) is resolved by the platform against the topology, which is
-// already part of the key prefix.
-func histSpecKey(s experiments.HistSpec, pol experiments.Policy) string {
-	return fmt.Sprintf("%s|v%d|p%d|q%d|cq%d|bo%d",
-		s.Name, s.Variant, s.Policy, pol.QueueCap,
-		pol.ResolveColibriQueues(), pol.ResolveBackoff())
-}
-
-// queueSpecKey canonicalizes a queue curve spec and its effective,
-// fully-resolved policy (see histSpecKey).
-func queueSpecKey(s experiments.QueueSpec, pol experiments.Policy) string {
-	return fmt.Sprintf("%s|v%d|p%d|ms%t|q%d|cq%d|bo%d",
-		s.Name, s.Variant, s.Policy, s.MS, pol.QueueCap,
-		pol.ResolveColibriQueues(), pol.ResolveBackoff())
+	return prefix
 }
 
 // window resolves the negative literal-zero sentinel to cycles.
@@ -313,143 +277,68 @@ func window(v int) int {
 }
 
 // expand resolves a normalized job into its series skeleton and the flat
-// unit list. Series names and point slots are fully determined here —
-// for grid jobs one series per (spec, grid coordinate), spec-major so a
-// curve's grid variants stay adjacent — so assembly is pure placement.
+// unit list, entirely through the job's Scenario: the scenario's curves
+// cross-product with the job's grid coordinates — one series per (curve,
+// coordinate), curve-major so a curve's grid variants stay adjacent —
+// and every (series, point) slot becomes one unit. Series names and
+// point slots are fully determined here, so assembly is pure placement.
 func expand(j Job) (noc.Topology, []Series, []unit, error) {
+	sc, ok := Lookup(string(j.Kind))
+	if !ok {
+		return noc.Topology{}, nil, nil, fmt.Errorf("sweep: unknown kind %q (registered: %s)",
+			j.Kind, namesList())
+	}
 	topo, ok := experiments.TopoByName(j.Topo)
 	if !ok {
 		return noc.Topology{}, nil, nil, fmt.Errorf("sweep: unknown topology %q", j.Topo)
 	}
+	curves, err := sc.Curves(topo, j)
+	if err != nil {
+		return noc.Topology{}, nil, nil, err
+	}
 	prefix := j.keyPrefix(topo)
-	warmup, measure := window(j.Warmup), window(j.Measure)
 	grid := j.gridPoints()
 	var series []Series
 	var units []unit
-
-	histUnits := func(specs []experiments.HistSpec) {
-		for _, spec := range specs {
-			for _, g := range grid {
-				pol := gridPolicy(spec.PolicyConfig(), g)
-				si := len(series)
-				series = append(series, Series{Name: gridName(spec.Name, g),
-					Grid: g.ref(), Points: make([]Point, len(j.Bins))})
-				for pi, bins := range j.Bins {
-					units = append(units, unit{
-						si: si, pi: pi, sim: true,
-						key: keyf(prefix, "%s|bins%d", histSpecKey(spec, pol), bins),
-						run: func() Point {
-							p := experiments.RunHistogramPointPolicy(spec, pol, topo,
-								bins, warmup, measure)
-							return Point{X: bins, Throughput: p.Throughput}
-						},
-					})
+	for _, c := range curves {
+		if c.Run == nil {
+			return noc.Topology{}, nil, nil, fmt.Errorf("sweep: scenario %q curve %q has no Run",
+				j.Kind, c.Name)
+		}
+		if c.NumPoints < 0 {
+			return noc.Topology{}, nil, nil, fmt.Errorf("sweep: scenario %q curve %q has %d points",
+				j.Kind, c.Name, c.NumPoints)
+		}
+		for _, g := range grid {
+			si := len(series)
+			series = append(series, Series{Name: gridName(c.Name, g),
+				Grid: g.ref(), Points: make([]Point, c.NumPoints)})
+			for pi := 0; pi < c.NumPoints; pi++ {
+				key := ""
+				if prefix != "" && c.Key != nil {
+					if frag := c.Key(g, pi); frag != "" {
+						key = prefix + "|" + frag
+					}
 				}
+				c, g, pi := c, g, pi
+				units = append(units, unit{
+					si: si, pi: pi, sim: c.Sim, key: key,
+					run: func() Point { return c.Run(g, pi) },
+				})
 			}
 		}
-	}
-
-	switch j.Kind {
-	case Fig3:
-		histUnits(experiments.Fig3Specs(topo.NumCores()))
-	case Fig4:
-		histUnits(experiments.Fig4Specs())
-	case Fig5:
-		for _, c := range experiments.Fig5Curves(topo.NumCores()) {
-			for _, g := range grid {
-				pol := gridPolicy(c.Spec.PolicyConfig(), g)
-				si := len(series)
-				series = append(series, Series{Name: gridName(c.Name, g),
-					Grid: g.ref(), Points: make([]Point, len(j.Bins))})
-				for pi, bins := range j.Bins {
-					units = append(units, unit{
-						si: si, pi: pi, sim: true,
-						key: keyf(prefix, "%s|r%d:%d|n%d|bins%d",
-							histSpecKey(c.Spec, pol), c.Ratio.Pollers, c.Ratio.Workers, j.MatN, bins),
-						run: func() Point {
-							p := experiments.RunInterferencePointPolicy(c.Spec, pol, topo,
-								c.Ratio, bins, j.MatN, warmup, measure)
-							return Point{X: bins, Rel: p.Rel,
-								BaselineOps: p.BaselineOps, LoadedOps: p.LoadedOps}
-						},
-					})
-				}
-			}
-		}
-	case Fig6, Fig6MS:
-		specs := experiments.Fig6Specs()
-		if j.Kind == Fig6MS {
-			specs = experiments.Fig6MSSpecs()
-		}
-		counts := experiments.Fig6Counts(topo)
-		for _, spec := range specs {
-			for _, g := range grid {
-				pol := gridPolicy(spec.PolicyConfig(), g)
-				si := len(series)
-				series = append(series, Series{Name: gridName(spec.Name, g),
-					Grid: g.ref(), Points: make([]Point, len(counts))})
-				for pi, n := range counts {
-					units = append(units, unit{
-						si: si, pi: pi, sim: true,
-						key: keyf(prefix, "%s|active%d", queueSpecKey(spec, pol), n),
-						run: func() Point {
-							p := experiments.RunQueuePointPolicy(spec, pol, topo,
-								n, warmup, measure)
-							return Point{X: n, Throughput: p.Throughput,
-								MinPerCore: p.MinPerCore, MaxPerCore: p.MaxPerCore}
-						},
-					})
-				}
-			}
-		}
-	case TableI:
-		rows := area.TableI(area.Default(), j.Cores)
-		series = append(series, Series{Name: "table1", Points: make([]Point, len(rows))})
-		for pi, r := range rows {
-			units = append(units, unit{
-				si: 0, pi: pi,
-				// key empty, sim false: pure arithmetic, cheaper to
-				// recompute than to hash.
-				run: func() Point {
-					return Point{X: pi, Label: r.Design, Params: r.Params,
-						AreaKGE: r.AreaKGE, OverheadPct: r.OverheadP, PaperKGE: r.PaperKGE}
-				},
-			})
-		}
-	case TableII:
-		specs := experiments.TableIISpecs()
-		series = append(series, Series{Name: "table2", Points: make([]Point, len(specs))})
-		for pi, spec := range specs {
-			units = append(units, unit{
-				si: 0, pi: pi, sim: true,
-				key: keyf(prefix, "%s|energy", histSpecKey(spec, spec.PolicyConfig())),
-				run: func() Point {
-					row := experiments.TableIIRow(spec, topo, energy.Default(), warmup, measure)
-					return Point{X: pi, Label: row.Name, Backoff: row.Backoff,
-						PowerMW: row.PowerMW, PJPerOp: row.PJPerOp, PaperPJ: row.PaperPJ}
-				},
-			})
-		}
-	default:
-		return noc.Topology{}, nil, nil, fmt.Errorf("sweep: unknown kind %q", j.Kind)
 	}
 	return topo, series, units, nil
 }
 
-// finalize computes cross-point derived values after all units of a job
-// have landed (cached or executed). It never feeds the cache, so cached
-// and freshly-run results finalize identically.
+// finalize applies the scenario's cross-point derivations (Finalizer)
+// after all units of a job have landed, cached or executed.
 func finalize(r *Result) {
-	if r.Job.Kind != TableII || len(r.Series) == 0 {
+	sc, ok := Lookup(string(r.Job.Kind))
+	if !ok {
 		return
 	}
-	points := r.Series[0].Points
-	rows := make([]experiments.EnergyRow, len(points))
-	for i, p := range points {
-		rows[i] = experiments.EnergyRow{Name: p.Label, PJPerOp: p.PJPerOp}
-	}
-	experiments.TableIIDelta(rows)
-	for i := range points {
-		points[i].DeltaPct = rows[i].DeltaPct
+	if f, ok := sc.(Finalizer); ok {
+		f.Finalize(r)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -96,7 +97,8 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Point{X: 7, Label: "row", Throughput: 0.125, PJPerOp: 42.5}
+	want := Point{X: 7, Label: "row", Throughput: 0.125, PJPerOp: 42.5,
+		Extra: map[string]float64{"custom_metric": 3.5}}
 	if _, ok := c.Get("k1"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -104,7 +106,7 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := c.Get("k1")
-	if !ok || got != want {
+	if !ok || !reflect.DeepEqual(got, want) {
 		t.Fatalf("Get = %+v, %v; want %+v", got, ok, want)
 	}
 	if _, ok := c.Get("k2"); ok {
@@ -218,7 +220,8 @@ func TestWarmCacheExecutesNothing(t *testing.T) {
 }
 
 // TestFig3Parity pins the engine to the reference implementation: the
-// sweep result must match a direct serial experiments.Fig3 call exactly.
+// sweep result must match direct serial experiments.RunHistogramPoint
+// calls over the same spec × bins grid exactly.
 func TestFig3Parity(t *testing.T) {
 	topo := noc.Small()
 	bins := []int{1, 4, 16}
@@ -227,19 +230,20 @@ func TestFig3Parity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := experiments.Fig3(topo, bins, testWarmup, testMeasure)
-	if len(res.Series) != len(ref) {
-		t.Fatalf("series count %d, want %d", len(res.Series), len(ref))
+	specs := experiments.Fig3Specs(topo.NumCores())
+	if len(res.Series) != len(specs) {
+		t.Fatalf("series count %d, want %d", len(res.Series), len(specs))
 	}
-	for si, s := range ref {
-		if res.Series[si].Name != s.Spec.Name {
-			t.Errorf("series %d name %q, want %q", si, res.Series[si].Name, s.Spec.Name)
+	for si, spec := range specs {
+		if res.Series[si].Name != spec.Name {
+			t.Errorf("series %d name %q, want %q", si, res.Series[si].Name, spec.Name)
 		}
-		for pi, p := range s.Points {
+		for pi, b := range bins {
+			ref := experiments.RunHistogramPoint(spec, topo, b, testWarmup, testMeasure)
 			got := res.Series[si].Points[pi]
-			if got.X != p.Bins || got.Throughput != p.Throughput {
-				t.Errorf("%s bins=%d: engine (%d, %v) != direct (%d, %v)",
-					s.Spec.Name, p.Bins, got.X, got.Throughput, p.Bins, p.Throughput)
+			if got.X != b || got.Throughput != ref.Throughput {
+				t.Errorf("%s bins=%d: engine (%d, %v) != direct %v",
+					spec.Name, b, got.X, got.Throughput, ref.Throughput)
 			}
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/noc"
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -129,63 +130,39 @@ func DefaultEnergy() EnergyParams { return energy.Default() }
 // DefaultArea returns the calibrated Table I area model.
 func DefaultArea() AreaModel { return area.Default() }
 
-// Experiment re-exports: the harness that regenerates the paper's tables
-// and figures (see cmd/ for the command-line front ends).
+// Experiment re-exports: the curve specs and single-point runners behind
+// the paper's tables and figures. Whole figures/tables are regenerated
+// through the sweep engine — RunSweeps(SweepJob{Kind: KindFig3, ...}) —
+// which returns every experiment in the unified SweepSeries/SweepPoint
+// measurement model (see cmd/sweep for the command-line front end).
 type (
-	// HistSpec is one histogram curve (variant × policy).
+	// HistSpec is one histogram curve spec (variant × policy).
 	HistSpec = experiments.HistSpec
+	// QueueSpec is one Fig. 6 queue curve spec.
+	QueueSpec = experiments.QueueSpec
 	// PolicyConfig is the explicit per-point policy configuration
 	// (QueueCap, ColibriQueues, backoff) the runners thread down to the
 	// platform; the sweep engine's policy grids override it per point.
 	PolicyConfig = experiments.Policy
-	// HistSeries is a measured throughput-vs-bins curve.
-	HistSeries = experiments.HistSeries
-	// QueueSeries is a measured Fig. 6 curve.
-	QueueSeries = experiments.QueueSeries
-	// InterferenceSeries is a measured Fig. 5 curve.
-	InterferenceSeries = experiments.InterferenceSeries
-	// EnergyRow is one Table II line.
-	EnergyRow = experiments.EnergyRow
 )
-
-// Fig3 measures histogram throughput for all Fig. 3 curves.
-func Fig3(topo Topology, bins []int, warmup, measure int) []HistSeries {
-	return experiments.Fig3(topo, bins, warmup, measure)
-}
-
-// Fig4 measures the Fig. 4 lock comparison.
-func Fig4(topo Topology, bins []int, warmup, measure int) []HistSeries {
-	return experiments.Fig4(topo, bins, warmup, measure)
-}
-
-// Fig5 measures the Fig. 5 interference experiment.
-func Fig5(topo Topology, bins []int, matN, warmup, measure int) []InterferenceSeries {
-	return experiments.Fig5(topo, bins, matN, warmup, measure)
-}
-
-// Fig6 measures the Fig. 6 queue scaling experiment.
-func Fig6(topo Topology, warmup, measure int) []QueueSeries {
-	return experiments.Fig6(topo, warmup, measure)
-}
 
 // TableI evaluates the area model on the published configurations.
 func TableI(nCores int) []area.Row { return area.TableI(area.Default(), nCores) }
-
-// TableII measures energy per operation at the highest contention.
-func TableII(topo Topology, warmup, measure int) []EnergyRow {
-	return experiments.TableII(topo, energy.Default(), warmup, measure)
-}
 
 // StandardBins returns the paper's bin sweep clipped to the topology.
 func StandardBins(topo Topology) []int { return experiments.StandardBins(topo) }
 
 // Sweep engine re-exports: the parallel orchestration layer that fans
 // independent simulation points across a worker pool with disk caching
-// (see cmd/sweep for the unified CLI front end).
+// (see cmd/sweep for the unified CLI front end). Experiments are open:
+// any Scenario registered with RegisterScenario — built-in or defined by
+// a library user — is addressable by SweepJob.Kind and gets the worker
+// pool, policy grids, caching and every emitter for free (see
+// examples/customscenario for an end-to-end walkthrough).
 type (
-	// SweepJob declares one experiment sweep (kind × topology × params).
+	// SweepJob declares one scenario sweep (kind × topology × params).
 	SweepJob = sweep.Job
-	// SweepKind names an experiment of the evaluation.
+	// SweepKind names a registered scenario.
 	SweepKind = sweep.Kind
 	// SweepRunner executes jobs on a worker pool with optional caching.
 	SweepRunner = sweep.Runner
@@ -193,9 +170,12 @@ type (
 	SweepResult = sweep.Result
 	// SweepSeries is one labelled curve of a result.
 	SweepSeries = sweep.Series
-	// SweepPoint is one measurement of a series.
+	// SweepPoint is one measurement of a series: a coordinate plus named
+	// metrics (well-known fields or free-form Extra entries), accessed
+	// uniformly through Metric/SetMetric/Metrics.
 	SweepPoint = sweep.Point
-	// SweepGridCoord labels a series with its policy-grid coordinate.
+	// SweepGridCoord labels a series with its policy-grid coordinate;
+	// its Merge method overlays the coordinate on a PolicyConfig.
 	SweepGridCoord = sweep.GridCoord
 	// SweepGrid bundles the policy-grid axes (QueueCaps × ColibriQueues
 	// × Backoffs) as parsed from the cmd/sweep -grid flag.
@@ -204,13 +184,53 @@ type (
 	SweepCache = sweep.Cache
 	// SweepStats summarizes executed vs cached points of a run.
 	SweepStats = sweep.RunStats
+
+	// Scenario is one registrable experiment: a named workload the
+	// engine expands into curves of independently scheduled points. The
+	// built-in kinds implement it; custom workloads implement it and
+	// call RegisterScenario.
+	Scenario = sweep.Scenario
+	// ScenarioCurve is one logical series of a scenario: a name plus the
+	// per-point cache-key and measurement hooks.
+	ScenarioCurve = sweep.Curve
+	// ScenarioFinalizer is an optional Scenario extension for
+	// cross-point derived values (computed after caching, never fed back
+	// into it).
+	ScenarioFinalizer = sweep.Finalizer
+	// ScenarioTableRenderer is an optional Scenario extension supplying
+	// a custom aligned-table layout (which also defines the CSV
+	// columns); scenarios without it use the generic metric table.
+	ScenarioTableRenderer = sweep.TableRenderer
+	// StatsTable is the aligned text table the emitters render through.
+	StatsTable = stats.Table
+)
+
+// Well-known sweep metric names (SweepPoint.Metric / SetMetric): the
+// full reserved set, mapped onto SweepPoint struct fields; any other
+// name is a scenario-defined Extra metric.
+const (
+	MetricThroughput  = sweep.MetricThroughput
+	MetricMinPerCore  = sweep.MetricMinPerCore
+	MetricMaxPerCore  = sweep.MetricMaxPerCore
+	MetricRel         = sweep.MetricRel
+	MetricBaselineOps = sweep.MetricBaselineOps
+	MetricLoadedOps   = sweep.MetricLoadedOps
+	MetricBackoff     = sweep.MetricBackoff
+	MetricPowerMW     = sweep.MetricPowerMW
+	MetricEnergyPJ    = sweep.MetricEnergyPJ
+	MetricDeltaPct    = sweep.MetricDeltaPct
+	MetricPaperPJ     = sweep.MetricPaperPJ
+	MetricAreaKGE     = sweep.MetricAreaKGE
+	MetricOverheadPct = sweep.MetricOverheadPct
+	MetricPaperKGE    = sweep.MetricPaperKGE
 )
 
 // ParseSweepGrid parses the -grid flag syntax, e.g.
 // "queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64".
 func ParseSweepGrid(s string) (SweepGrid, error) { return sweep.ParseGrid(s) }
 
-// Sweepable experiment kinds.
+// Built-in scenario kinds (the paper's evaluation). Scenarios lists
+// every registered kind, including custom ones.
 const (
 	KindFig3    = sweep.Fig3
 	KindFig4    = sweep.Fig4
@@ -220,6 +240,24 @@ const (
 	KindTableI  = sweep.TableI
 	KindTableII = sweep.TableII
 )
+
+// RegisterScenario adds a custom scenario to the sweep registry, making
+// it addressable from SweepJob.Kind exactly like the built-in kinds —
+// with the worker pool, policy grids, disk cache and all emitters. A
+// duplicate or empty name is rejected.
+func RegisterScenario(s Scenario) error { return sweep.Register(s) }
+
+// Scenarios returns every registered scenario name, sorted.
+func Scenarios() []string { return sweep.Names() }
+
+// LookupScenario returns the scenario registered under name.
+func LookupScenario(name string) (Scenario, bool) { return sweep.Lookup(name) }
+
+// NewStatsTable creates an aligned text table (for custom
+// ScenarioTableRenderer implementations).
+func NewStatsTable(title string, header ...string) *StatsTable {
+	return stats.NewTable(title, header...)
+}
 
 // OpenSweepCache opens the point cache rooted at dir ("" selects
 // ~/.cache/lrscwait or the platform equivalent).

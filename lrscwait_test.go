@@ -1,6 +1,8 @@
 package lrscwait_test
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -127,6 +129,119 @@ func TestFacadeGridSweep(t *testing.T) {
 		if !strings.HasSuffix(s.Name, want) {
 			t.Errorf("series %d name %q missing %q", i, s.Name, want)
 		}
+	}
+}
+
+// facadeScenario is a custom workload defined purely against the public
+// facade, the way an out-of-tree user would: every core runs the
+// LRwait/SCwait histogram kernel and the scenario sweeps the bin count,
+// reporting throughput plus a custom sleep-cycles metric.
+type facadeScenario struct{}
+
+func (facadeScenario) Name() string   { return "facade-counter" }
+func (facadeScenario) GridAxes() bool { return false }
+
+func (facadeScenario) Normalize(j lrscwait.SweepJob, topo lrscwait.Topology) (lrscwait.SweepJob, error) {
+	if j.Warmup == 0 {
+		j.Warmup = 200
+	}
+	if j.Measure == 0 {
+		j.Measure = 800
+	}
+	if len(j.Bins) == 0 {
+		j.Bins = []int{1, 4}
+	}
+	return j, nil
+}
+
+func (facadeScenario) Curves(topo lrscwait.Topology, j lrscwait.SweepJob) ([]lrscwait.ScenarioCurve, error) {
+	return []lrscwait.ScenarioCurve{{
+		Name: "facade-counter", NumPoints: len(j.Bins), Sim: true,
+		Key: func(g lrscwait.SweepGridCoord, pt int) string {
+			return fmt.Sprintf("bins%d", j.Bins[pt])
+		},
+		Run: func(g lrscwait.SweepGridCoord, pt int) lrscwait.SweepPoint {
+			cfg := lrscwait.Config{Topo: topo, Policy: lrscwait.PolicyColibri}
+			l := lrscwait.NewLayout(0)
+			lay := lrscwait.NewHistLayout(l, j.Bins[pt], topo.NumCores())
+			prog := lrscwait.HistogramProgram(lrscwait.HistLRSCWait, lay, 128, 0)
+			sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(prog))
+			act := sys.Measure(j.Warmup, j.Measure)
+			p := lrscwait.SweepPoint{X: j.Bins[pt]}
+			p.SetMetric(lrscwait.MetricThroughput, act.Throughput())
+			p.SetMetric("sleep_cycles", float64(act.SleepCycles))
+			return p
+		},
+	}}, nil
+}
+
+// TestFacadeCustomScenario is the open-API acceptance path: a scenario
+// registered only through the public facade runs through the engine with
+// caching (warm re-run executes zero simulations), appears in the
+// registry listing, and round-trips through all three emitters.
+func TestFacadeCustomScenario(t *testing.T) {
+	// The registry is process-global: tolerate the duplicate error a
+	// repeated in-process run (go test -count=2) produces.
+	if err := lrscwait.RegisterScenario(facadeScenario{}); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range lrscwait.Scenarios() {
+		if name == "facade-counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("facade-counter missing from Scenarios() = %v", lrscwait.Scenarios())
+	}
+	if _, ok := lrscwait.LookupScenario("facade-counter"); !ok {
+		t.Fatal("LookupScenario cannot find the registered scenario")
+	}
+
+	cache, err := lrscwait.OpenSweepCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := lrscwait.SweepJob{Kind: "facade-counter", Topo: "small"}
+	r := lrscwait.SweepRunner{Workers: 2, Cache: cache}
+	cold, st, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Units != 2 || st.Executed != 2 {
+		t.Fatalf("cold run stats = %+v", st)
+	}
+	warm, st, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 0 || st.CacheHits != 2 {
+		t.Fatalf("warm run stats = %+v (custom scenario not served from cache)", st)
+	}
+
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := warm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Error("warm-cache JSON differs from cold run")
+	}
+	if !strings.Contains(string(coldJSON), `"sleep_cycles"`) {
+		t.Errorf("custom metric missing from JSON:\n%s", coldJSON)
+	}
+	if tbl := cold.Table().String(); !strings.Contains(tbl, "sleep_cycles") {
+		t.Errorf("generic table missing the custom metric:\n%s", tbl)
+	}
+	if csv := cold.CSV(); csv == "" || !strings.Contains(csv, "throughput") {
+		t.Errorf("CSV emitter broken for custom scenario:\n%s", csv)
+	}
+	if tp, ok := cold.Series[0].Points[0].Metric(lrscwait.MetricThroughput); !ok || tp <= 0 {
+		t.Errorf("no throughput measured: %v, %v", tp, ok)
 	}
 }
 
