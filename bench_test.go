@@ -11,6 +11,7 @@ package lrscwait_test
 
 import (
 	"fmt"
+	"strconv"
 	"testing"
 
 	"repro/internal/area"
@@ -288,7 +289,8 @@ func BenchmarkAblationColibriQueues(b *testing.B) {
 // twoAddressThroughput runs half the cores against word 0 and half
 // against word numBanks (same bank, different address) with LRwait/SCwait.
 func twoAddressThroughput(topo noc.Topology, queues int) float64 {
-	cfg := platform.Config{Topo: topo, Policy: platform.PolicyColibri, ColibriQueues: queues}
+	cfg := platform.Config{Topo: topo, Policy: platform.PolicyColibri,
+		PolicyParams: platform.PolicyParams{platform.ParamColibriQ: strconv.Itoa(queues)}}
 	nBanks := topo.NumBanks()
 	prog := func(addr uint32) *isa.Program {
 		bb := isa.NewBuilder()

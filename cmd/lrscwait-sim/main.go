@@ -2,13 +2,20 @@
 // a reservation policy and a kernel, run for a fixed window, and inspect
 // throughput, activity and (optionally) the kernel's disassembly.
 //
+// Policy selection is registry-driven: -policy accepts any name returned
+// by -list-policies — the five built-ins plus whatever a linked library
+// registered through platform.RegisterPolicy — and -pparam passes
+// additional policy-specific parameters. Policies supplying their own
+// energy constants (the energy.PolicyWeights hook) are reported with
+// those instead of the shared calibrated model.
+//
 // Usage:
 //
-//	lrscwait-sim [-scale mempool|medium|small]
-//	             [-policy colibri|lrsc|lrsc-table|waitqueue|plain]
+//	lrscwait-sim [-scale terapool|mempool|medium|small]
+//	             [-policy NAME] [-list-policies]
 //	             [-kernel histogram|queue|msqueue|matmul]
 //	             [-variant amoadd|lrsc|lrscwait|lrsc-lock|lrscwait-lock|amoadd-lock|mwait-mcs-lock]
-//	             [-bins N] [-queues N] [-qcap N] [-backoff N]
+//	             [-bins N] [-queues N] [-qcap N] [-pparam 'k=v ...'] [-backoff N]
 //	             [-warmup N] [-measure N] [-disasm]
 package main
 
@@ -16,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/energy"
 	"repro/internal/experiments"
@@ -23,6 +32,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/platform"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -36,27 +46,21 @@ var histVariants = map[string]kernels.HistVariant{
 	"mwait-mcs-lock": kernels.HistLockMCSMwait,
 }
 
-var policies = map[string]platform.PolicyKind{
-	"plain":      platform.PolicyPlain,
-	"lrsc":       platform.PolicyLRSCSingle,
-	"lrsc-table": platform.PolicyLRSCTable,
-	"waitqueue":  platform.PolicyWaitQueue,
-	"colibri":    platform.PolicyColibri,
-}
-
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "lrscwait-sim: "+format+"\n", args...)
 	os.Exit(2)
 }
 
 func main() {
-	scale := flag.String("scale", "medium", "topology: mempool (256 cores), medium (64), small (16)")
-	policyName := flag.String("policy", "colibri", "reservation policy: colibri, lrsc, lrsc-table, waitqueue, plain")
+	scale := flag.String("scale", "medium", "topology: terapool (1024 cores), mempool (256), medium (64), small (16)")
+	policyName := flag.String("policy", "colibri", "reservation policy by registered name (see -list-policies)")
+	listPolicies := flag.Bool("list-policies", false, "print the registered policy names and exit")
 	kernel := flag.String("kernel", "histogram", "workload: histogram, queue, msqueue, matmul")
 	variant := flag.String("variant", "lrscwait", "histogram variant (see -help)")
 	bins := flag.Int("bins", 16, "histogram bins")
 	queues := flag.Int("queues", 4, "Colibri head/tail pairs per bank controller")
 	qcap := flag.Int("qcap", 0, "WaitQueue capacity (0 = ideal)")
+	pparam := flag.String("pparam", "", "extra policy parameters, e.g. 'key=value ...' (policy-defined keys)")
 	backoff := flag.Int("backoff", 128, "max retry/spin backoff in cycles")
 	warmup := flag.Int("warmup", 2000, "warm-up cycles")
 	measure := flag.Int("measure", 10000, "measured cycles")
@@ -64,18 +68,38 @@ func main() {
 	showTrace := flag.Bool("trace", false, "render activity sparklines over the measured window")
 	flag.Parse()
 
+	if *listPolicies {
+		for _, name := range platform.PolicyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
 	topo, ok := experiments.TopoByName(*scale)
 	if !ok {
 		fail("unknown scale %q", *scale)
 	}
-	policy, ok := policies[*policyName]
-	if !ok {
-		fail("unknown policy %q", *policyName)
+	policy := platform.PolicyKind(*policyName)
+	if _, ok := platform.LookupPolicy(*policyName); !ok {
+		fail("unknown policy %q (registered: %s)", *policyName,
+			strings.Join(platform.PolicyNames(), ", "))
 	}
-	cfg := platform.Config{
-		Topo: topo, Policy: policy,
-		ColibriQueues: *queues, QueueCap: *qcap,
+	params := platform.PolicyParams{
+		platform.ParamColibriQ: strconv.Itoa(*queues),
+		platform.ParamQueueCap: strconv.Itoa(*qcap),
 	}
+	extra, err := sweep.ParseParams(*pparam)
+	if err != nil {
+		fail("%v", err)
+	}
+	for k, v := range extra {
+		params[k] = v
+	}
+	resolved, err := platform.ResolvePolicy(policy, params, topo)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg := platform.Config{Topo: topo, Policy: policy, PolicyParams: params}
 	nCores := topo.NumCores()
 	l := platform.NewLayout(0)
 
@@ -132,7 +156,12 @@ func main() {
 	} else {
 		act = sys.Measure(*warmup, *measure)
 	}
-	params := energy.Default()
+	// Policies carrying their own calibrated constants (the
+	// energy.PolicyWeights hook) are reported with those.
+	eparams := energy.Default()
+	if pw, ok := resolved.(energy.PolicyWeights); ok {
+		eparams = pw.EnergyWeights()
+	}
 
 	t := stats.NewTable(fmt.Sprintf("%s/%s on %s (%d cores, policy %s)",
 		*kernel, *variant, *scale, nCores, policy),
@@ -150,8 +179,8 @@ func main() {
 	t.Add("SC success / fail", fmt.Sprintf("%d / %d", act.SCSuccess, act.SCFail))
 	t.Add("wait refusals", fmt.Sprint(act.WaitRefusals))
 	t.Add("SuccessorUpdates / WakeUps", fmt.Sprintf("%d / %d", act.SuccUpdates, act.WakeUps))
-	t.Add("energy (pJ/op)", stats.F(params.PerOpPJ(act), 1))
-	t.Add("power (mW @600MHz)", stats.F(params.PowerMW(act, 600), 1))
+	t.Add("energy (pJ/op)", stats.F(eparams.PerOpPJ(act), 1))
+	t.Add("power (mW @600MHz)", stats.F(eparams.PowerMW(act, 600), 1))
 	fmt.Print(t.String())
 	if tr != nil {
 		fmt.Println()

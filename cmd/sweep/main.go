@@ -12,19 +12,24 @@
 // examples/customscenario for the library-side walkthrough).
 //
 // Beyond a scenario's fixed spec sets, the -grid flag turns the policy
-// parameters themselves into sweep axes: the cross-product of
-// queuecap × colibriq × backoff values runs every curve of the selected
-// scenarios at every grid coordinate, one labelled series each. -params
-// passes free-form key=value parameters to custom scenarios that define
-// them (the built-in kinds take none, so in the stock binary -params is
+// itself and its parameters into sweep axes: the cross-product of
+// policy × queuecap × colibriq × backoff values runs every curve of the
+// selected scenarios at every grid coordinate, one labelled series
+// each. -policy is shorthand for the policy axis and accepts any
+// registered platform policy name (-list-policies prints them; a main
+// that calls lrscwait.RegisterPolicy before this front end's plumbing
+// sweeps its custom hardware on the same flag). -params passes
+// free-form key=value parameters to custom scenarios that define them
+// (the built-in kinds take none, so in the stock binary -params is
 // always an error).
 //
 // Usage:
 //
 //	sweep [-fig 3,4,5,6] [-table 1,2] [-kind fig3,...,table2] [-all]
-//	      [-list-kinds]
-//	      [-topo mempool|medium|small] [-bins 1,2,4,...]
-//	      [-grid 'queuecap=0,1,2 colibriq=2,4,8 backoff=0,64']
+//	      [-list-kinds] [-list-policies]
+//	      [-topo terapool|mempool|medium|small] [-bins 1,2,4,...]
+//	      [-policy lrsc,colibri,...]
+//	      [-grid 'policy=lrsc,colibri queuecap=0,1,2 colibriq=2,4,8 backoff=0,64']
 //	      [-params 'key=value ...']
 //	      [-warmup N] [-measure N] [-matn N] [-ms]
 //	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
@@ -34,9 +39,11 @@
 //
 //	sweep -all                       # full evaluation, paper scale
 //	sweep -list-kinds                # print the scenario registry
+//	sweep -list-policies             # print the policy registry
 //	sweep -fig 3 -topo small         # one figure, 16-core machine
 //	sweep -fig 3,4,5,6 -table 1,2 -topo medium -json out/
 //	sweep -kind fig3 -grid 'queuecap=0,1,2,4'   # wait-queue sizing study
+//	sweep -kind fig6 -policy lrsc,lrsc-table    # queue scaling per policy
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/platform"
 	"repro/internal/sweep"
 )
 
@@ -78,10 +86,12 @@ func main() {
 	tables := flag.String("table", "", "tables to regenerate (comma-separated subset of 1,2)")
 	kinds := flag.String("kind", "", "scenarios by registered name (comma-separated; see -list-kinds)")
 	listKinds := flag.Bool("list-kinds", false, "print the registered scenario names and exit")
-	gridFlag := flag.String("grid", "", "policy grid for figure-style sweeps, e.g. 'queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
+	listPolicies := flag.Bool("list-policies", false, "print the registered policy names and exit")
+	policyFlag := flag.String("policy", "", "policy axis for figure-style sweeps: registered policy names, comma-separated (see -list-policies); shorthand for -grid 'policy=...'")
+	gridFlag := flag.String("grid", "", "policy grid for figure-style sweeps, e.g. 'policy=lrsc,colibri queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
 	paramsFlag := flag.String("params", "", "parameters for custom scenarios that define them, e.g. 'kernel=amoadd iters=500' (built-in kinds take none)")
 	all := flag.Bool("all", false, "regenerate every figure and table")
-	topo := flag.String("topo", "mempool", "topology: mempool (paper, 256 cores), medium (64), small (16)")
+	topo := flag.String("topo", "mempool", "topology: terapool (1024 cores), mempool (paper, 256), medium (64), small (16)")
 	binsFlag := flag.String("bins", "", "bin counts for figs 3/4/5 (default: per-figure paper sweep)")
 	warmup := flag.Int("warmup", 0, "warm-up cycles (0 = per-experiment default, negative = literally zero)")
 	measure := flag.Int("measure", 0, "measured cycles (0 = per-experiment default, negative = literally zero)")
@@ -101,6 +111,12 @@ func main() {
 		}
 		return
 	}
+	if *listPolicies {
+		for _, name := range platform.PolicyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	bins, err := sweep.ParseBins(*binsFlag)
 	if err != nil {
@@ -109,6 +125,12 @@ func main() {
 	grid, err := sweep.ParseGrid(*gridFlag)
 	if err != nil {
 		fail("%v", err)
+	}
+	for _, name := range splitList(*policyFlag) {
+		if name == "" {
+			fail("empty policy name in -policy")
+		}
+		grid.Policies = append(grid.Policies, name)
 	}
 	params, err := sweep.ParseParams(*paramsFlag)
 	if err != nil {
@@ -195,7 +217,7 @@ func main() {
 	if !grid.IsZero() && !gridApplied {
 		// Only grid-less scenarios selected: silently dropping the grid
 		// would look like a successful policy sweep that never happened.
-		fail("-grid applies to none of the selected kinds")
+		fail("-grid/-policy applies to none of the selected kinds")
 	}
 	if params != nil && !paramsApplied {
 		// Same reasoning as the grid guard: the built-in kinds define no

@@ -69,7 +69,7 @@ func main() {
 		// All 15 waiters sleep on one sense word: give the bank
 		// controller enough head/tail pairs for the sense plus
 		// bystander traffic.
-		ColibriQueues: 4,
+		PolicyParams: lrscwait.PolicyParams{lrscwait.ParamColibriQ: "4"},
 	}
 	nCores := cfg.Topo.NumCores()
 	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(barrierProgram(nCores)))

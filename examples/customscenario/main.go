@@ -68,7 +68,7 @@ func (coreScaling) kernel(j lrscwait.SweepJob) (lrscwait.HistVariant, lrscwait.P
 	case "lrsc":
 		return lrscwait.HistLRSC, lrscwait.PolicyLRSCSingle, nil
 	default:
-		return 0, 0, fmt.Errorf("core-scaling: unknown kernel %q (have lrscwait, lrsc)",
+		return 0, "", fmt.Errorf("core-scaling: unknown kernel %q (have lrscwait, lrsc)",
 			j.Params["kernel"])
 	}
 }
@@ -91,12 +91,11 @@ func (s coreScaling) Curves(topo lrscwait.Topology, j lrscwait.SweepJob) ([]lrsc
 		// value that restates a default hits the grid-free entry while
 		// distinct coordinates can never collapse onto one unit.
 		Key: func(g lrscwait.SweepGridCoord, pt int) string {
-			pol := g.Merge(lrscwait.PolicyConfig{})
-			return fmt.Sprintf("active%d|q%d|cq%d|bo%d", j.Bins[pt],
-				pol.QueueCap, pol.ResolveColibriQueues(), pol.ResolveBackoff())
+			pol := g.Merge(lrscwait.PolicyConfig{Kind: policy})
+			return fmt.Sprintf("active%d|%s", j.Bins[pt], pol.KeyFragment())
 		},
 		Run: func(g lrscwait.SweepGridCoord, pt int) lrscwait.SweepPoint {
-			pol := g.Merge(lrscwait.PolicyConfig{})
+			pol := g.Merge(lrscwait.PolicyConfig{Kind: policy})
 			nActive := j.Bins[pt]
 			l := lrscwait.NewLayout(0)
 			lay := lrscwait.NewHistLayout(l, 1, topo.NumCores()) // 1 bin = one counter
@@ -104,7 +103,7 @@ func (s coreScaling) Curves(topo lrscwait.Topology, j lrscwait.SweepJob) ([]lrsc
 			idle := lrscwait.NewProgram()
 			idle.Halt()
 			idleProg := idle.MustBuild()
-			sys := lrscwait.NewSystem(pol.Config(policy, topo), func(core int) *lrscwait.Program {
+			sys := lrscwait.NewSystem(pol.Config(topo), func(core int) *lrscwait.Program {
 				if core < nActive {
 					return prog
 				}

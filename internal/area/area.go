@@ -74,6 +74,16 @@ func (m Model) Overhead(a float64) float64 {
 	return (a/m.TileBase - 1) * 100
 }
 
+// PolicyRows is an optional extension of platform policies
+// (platform.Policy): a policy implementing it contributes its own rows
+// to Table I, rendered by the table1 sweep scenario after the published
+// configurations. m is the calibrated tile model (for the base area and
+// Overhead) and nCores the evaluated core count. The built-in policies
+// are already covered by TableI and do not implement it.
+type PolicyRows interface {
+	AreaRows(m Model, nCores int) []Row
+}
+
 // Row is one Table I line: the design, its parameters, the modelled area
 // and the paper's published value (0 when the paper has no number —
 // extrapolations).

@@ -81,6 +81,19 @@ func (c *Controller) Name() string {
 	return fmt.Sprintf("colibri-%d", len(c.queues))
 }
 
+// AdapterStats implements mem.StatsReporter with the counters Colibri
+// shares with the direct reservation adapters; the protocol-specific
+// counters (SuccUpdates, WakeUps, Enqueues) stay on Stats.
+func (c *Controller) AdapterStats() mem.AdapterStats {
+	return mem.AdapterStats{
+		Grants:        c.Stats.Grants,
+		Refused:       c.Stats.Refused,
+		SCSuccess:     c.Stats.SCSuccess,
+		SCFail:        c.Stats.SCFail,
+		Invalidations: c.Stats.Invalidations,
+	}
+}
+
 // NumQueues returns the number of head/tail pairs.
 func (c *Controller) NumQueues() int { return len(c.queues) }
 

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/kernels"
 	"repro/internal/noc"
@@ -25,11 +26,15 @@ import (
 const DefaultBackoff = 128
 
 // Policy is the explicit hardware/software policy configuration of one
-// simulation point: the knobs the paper's design space varies on top of
-// a PolicyKind. Every runner threads a Policy down to platform.Config,
-// so sweeps can override these per point instead of relying on the
-// defaults baked into a spec.
+// simulation point: which registered platform policy runs, with which
+// parameters, under which software backoff. Every runner threads a
+// Policy down to platform.Config, so sweeps can override any of these
+// per point instead of relying on the defaults baked into a spec.
 type Policy struct {
+	// Kind names the registered platform policy (see
+	// platform.PolicyNames). Empty means "the spec's own policy": the
+	// runners fill it from the spec before resolving.
+	Kind          platform.PolicyKind
 	QueueCap      int // WaitQueue slots (0 = ideal, one per core)
 	ColibriQueues int // head/tail pairs per bank controller (0 = default 4)
 	// Backoff in cycles: 0 selects the paper's default of 128; a
@@ -59,14 +64,57 @@ func (p Policy) ResolveBackoff() int32 {
 	}
 }
 
-// Config assembles the platform configuration for kind on topo.
-func (p Policy) Config(kind platform.PolicyKind, topo noc.Topology) platform.Config {
-	return platform.Config{
-		Topo:          topo,
-		Policy:        kind,
-		QueueCap:      p.QueueCap,
-		ColibriQueues: p.ColibriQueues,
+// withKind fills an empty Kind from a spec's baked-in policy, so a
+// caller-supplied Policy that only overrides parameters still runs the
+// spec's hardware.
+func (p Policy) withKind(kind platform.PolicyKind) Policy {
+	if p.Kind == "" {
+		p.Kind = kind
 	}
+	return p
+}
+
+// PolicyParams renders the parameter axes in the platform's key=value
+// convention (only the non-default ones, so a defaulted Policy maps to
+// nil parameters).
+func (p Policy) PolicyParams() platform.PolicyParams {
+	var params platform.PolicyParams
+	set := func(key string, v int) {
+		if params == nil {
+			params = platform.PolicyParams{}
+		}
+		params[key] = strconv.Itoa(v)
+	}
+	if p.QueueCap != 0 {
+		set(platform.ParamQueueCap, p.QueueCap)
+	}
+	if p.ColibriQueues != 0 {
+		set(platform.ParamColibriQ, p.ColibriQueues)
+	}
+	return params
+}
+
+// Config assembles the platform configuration for this policy on topo.
+func (p Policy) Config(topo noc.Topology) platform.Config {
+	return platform.Config{
+		Topo:         topo,
+		Policy:       p.Kind,
+		PolicyParams: p.PolicyParams(),
+	}
+}
+
+// KeyFragment canonicalizes the effective policy for cache keys: the
+// kind name plus every parameter axis fully resolved — backoff in
+// literal cycles, Colibri queues as the count the platform instantiates
+// — so an override that merely restates a default keys identically to
+// the baked-in configuration (it is the same simulation), while
+// distinct effective policies can never collapse onto one entry.
+// QueueCap stays literal: 0 (ideal, one slot per core) is resolved by
+// the platform against the topology, which cache-key prefixes already
+// carry.
+func (p Policy) KeyFragment() string {
+	return fmt.Sprintf("p=%s|q%d|cq%d|bo%d",
+		p.Kind, p.QueueCap, p.ResolveColibriQueues(), p.ResolveBackoff())
 }
 
 // LiteralBackoff encodes literal backoff cycles in the Policy
@@ -93,10 +141,12 @@ type HistSpec struct {
 	Backoff int32
 }
 
-// PolicyConfig returns the spec's baked-in policy parameters. Runners
-// that accept an explicit Policy use this as the no-override baseline.
+// PolicyConfig returns the spec's baked-in policy configuration.
+// Runners that accept an explicit Policy use this as the no-override
+// baseline.
 func (s HistSpec) PolicyConfig() Policy {
-	return Policy{QueueCap: s.QueueCap, ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
+	return Policy{Kind: s.Policy, QueueCap: s.QueueCap,
+		ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
 }
 
 // Fig3Specs returns the curves of Fig. 3 for a system with nCores cores:
@@ -140,7 +190,7 @@ type HistPoint struct {
 // buildHistogram constructs a system running the endless histogram
 // under an explicit policy configuration.
 func buildHistogram(spec HistSpec, pol Policy, topo noc.Topology, bins int, iters int) (*platform.System, kernels.HistLayout) {
-	cfg := pol.Config(spec.Policy, topo)
+	cfg := pol.withKind(spec.Policy).Config(topo)
 	l := platform.NewLayout(0)
 	lay := kernels.NewHistLayout(l, bins, topo.NumCores())
 	prog := kernels.HistogramProgram(spec.Variant, lay, pol.ResolveBackoff(), iters)
@@ -155,20 +205,24 @@ func RunHistogramPoint(spec HistSpec, topo noc.Topology, bins, warmup, measure i
 }
 
 // RunHistogramPointPolicy measures one (spec, bins) point under an
-// explicit policy configuration, ignoring the spec's own policy fields.
-// The policy-grid sweeps use it to vary QueueCap/ColibriQueues/backoff
-// per point.
+// explicit policy configuration, ignoring the spec's own policy fields
+// (an empty pol.Kind falls back to the spec's hardware policy). The
+// policy-grid sweeps use it to vary the policy and its
+// QueueCap/ColibriQueues/backoff parameters per point.
 func RunHistogramPointPolicy(spec HistSpec, pol Policy, topo noc.Topology, bins, warmup, measure int) HistPoint {
 	sys, _ := buildHistogram(spec, pol, topo, bins, 0)
 	act := sys.Measure(warmup, measure)
 	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
 }
 
-// TopoByName maps a scale name to a topology: "mempool" (256 cores, the
-// paper's platform), "medium" (64) or "small" (16). Unknown names return
+// TopoByName maps a scale name to a topology: "terapool" (1024 cores,
+// the Bertuletti et al. scale-up), "mempool" (256 cores, the paper's
+// platform), "medium" (64) or "small" (16). Unknown names return
 // ok=false.
 func TopoByName(name string) (noc.Topology, bool) {
 	switch name {
+	case "terapool", "1024":
+		return noc.TeraPool1024(), true
 	case "mempool", "256":
 		return noc.MemPool256(), true
 	case "medium", "64":

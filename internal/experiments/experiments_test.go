@@ -259,22 +259,31 @@ func TestPolicyBackoffResolution(t *testing.T) {
 
 func TestPolicyConfigAssembly(t *testing.T) {
 	topo := noc.Small()
-	cfg := Policy{QueueCap: 3, ColibriQueues: 2}.Config(platform.PolicyWaitQueue, topo)
-	if cfg.Policy != platform.PolicyWaitQueue || cfg.QueueCap != 3 ||
-		cfg.ColibriQueues != 2 || cfg.Topo.NumCores() != topo.NumCores() {
+	cfg := Policy{Kind: platform.PolicyWaitQueue, QueueCap: 3, ColibriQueues: 2}.Config(topo)
+	if cfg.Policy != platform.PolicyWaitQueue ||
+		cfg.PolicyParams[platform.ParamQueueCap] != "3" ||
+		cfg.PolicyParams[platform.ParamColibriQ] != "2" ||
+		cfg.Topo.NumCores() != topo.NumCores() {
 		t.Errorf("assembled config = %+v", cfg)
 	}
-	spec := HistSpec{QueueCap: 5, ColibriQueues: 6, Backoff: -1}
-	if got := spec.PolicyConfig(); got != (Policy{QueueCap: 5, ColibriQueues: 6, Backoff: -1}) {
+	// Defaulted parameter axes stay absent, so the platform resolves its
+	// own defaults (and a defaulted Policy maps to nil parameters).
+	if got := (Policy{Kind: platform.PolicyColibri}).Config(topo); got.PolicyParams != nil {
+		t.Errorf("defaulted policy params = %+v, want nil", got.PolicyParams)
+	}
+	spec := HistSpec{Policy: platform.PolicyWaitQueue, QueueCap: 5, ColibriQueues: 6, Backoff: -1}
+	want := Policy{Kind: platform.PolicyWaitQueue, QueueCap: 5, ColibriQueues: 6, Backoff: -1}
+	if got := spec.PolicyConfig(); got != want {
 		t.Errorf("HistSpec.PolicyConfig = %+v", got)
 	}
-	if got := (QueueSpec{}).PolicyConfig(); got != (Policy{}) {
+	if got := (QueueSpec{Policy: platform.PolicyPlain}).PolicyConfig(); got != (Policy{Kind: platform.PolicyPlain}) {
 		t.Errorf("QueueSpec.PolicyConfig = %+v (want all-defaults)", got)
 	}
 	// A queue spec's baked-in policy fields must thread through, exactly
 	// like HistSpec's (they used to be silently dropped).
-	qspec := QueueSpec{QueueCap: 3, ColibriQueues: 2, Backoff: -1}
-	if got := qspec.PolicyConfig(); got != (Policy{QueueCap: 3, ColibriQueues: 2, Backoff: -1}) {
+	qspec := QueueSpec{Policy: platform.PolicyColibri, QueueCap: 3, ColibriQueues: 2, Backoff: -1}
+	qwant := Policy{Kind: platform.PolicyColibri, QueueCap: 3, ColibriQueues: 2, Backoff: -1}
+	if got := qspec.PolicyConfig(); got != qwant {
 		t.Errorf("QueueSpec.PolicyConfig = %+v (spec fields dropped)", got)
 	}
 }

@@ -59,7 +59,7 @@ func interferenceSystem(spec HistSpec, pol Policy, topo noc.Topology, ratio Inte
 	if ratio.Pollers+ratio.Workers > nCores {
 		panic("experiments: ratio exceeds core count")
 	}
-	cfg := pol.Config(spec.Policy, topo)
+	cfg := pol.withKind(spec.Policy).Config(topo)
 	backoff := pol.ResolveBackoff()
 	l := platform.NewLayout(0)
 	histLay := kernels.NewHistLayout(l, bins, nCores)

@@ -27,12 +27,13 @@ type QueueSpec struct {
 	Backoff int32
 }
 
-// PolicyConfig returns the spec's baked-in policy parameters. The
-// paper's Fig. 6 specs leave them zero (all defaults: 128-cycle backoff,
-// default Colibri queue count); the policy-grid sweeps override them per
-// point.
+// PolicyConfig returns the spec's baked-in policy configuration. The
+// paper's Fig. 6 specs leave the parameters zero (all defaults:
+// 128-cycle backoff, default Colibri queue count); the policy-grid
+// sweeps override them per point.
 func (s QueueSpec) PolicyConfig() Policy {
-	return Policy{QueueCap: s.QueueCap, ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
+	return Policy{Kind: s.Policy, QueueCap: s.QueueCap,
+		ColibriQueues: s.ColibriQueues, Backoff: s.Backoff}
 }
 
 // Fig6Specs returns the three curves of Fig. 6 on the fetch-and-add ring.
@@ -77,7 +78,7 @@ func RunQueuePointPolicy(spec QueueSpec, pol Policy, topo noc.Topology, nActive,
 	if nActive > nCores {
 		nActive = nCores
 	}
-	cfg := pol.Config(spec.Policy, topo)
+	cfg := pol.withKind(spec.Policy).Config(topo)
 	backoff := pol.ResolveBackoff()
 	l := platform.NewLayout(0)
 	idle := func() *isa.Program {

@@ -37,6 +37,32 @@ type Adapter interface {
 	Name() string
 }
 
+// AdapterStats is the policy-level event vocabulary shared by every
+// reservation adapter: how many reservations were granted or refused,
+// how store-conditionals fared, and how many armed reservations were
+// killed by intervening writes.
+type AdapterStats struct {
+	// Grants counts LR/LRwait/Mwait reservations handed out.
+	Grants uint64
+	// Refused counts LRwait/Mwait requests rejected because no queue
+	// slot was free (the core falls back to retrying).
+	Refused uint64
+	// SCSuccess and SCFail count store-conditional outcomes.
+	SCSuccess uint64
+	SCFail    uint64
+	// Invalidations counts reservations killed by intervening writes.
+	Invalidations uint64
+}
+
+// StatsReporter is an optional Adapter extension: adapters implementing
+// it surface their policy-level counters to the platform's aggregate
+// statistics (platform.System.PolicyStats) without the platform knowing
+// the concrete adapter type — custom out-of-tree policies report through
+// the same interface as the built-ins.
+type StatsReporter interface {
+	AdapterStats() AdapterStats
+}
+
 // AmoALU applies an atomic read-modify-write operation and returns the new
 // value to store. It is shared by every adapter.
 func AmoALU(op bus.Op, old, operand uint32) uint32 {

@@ -28,6 +28,40 @@ func TestTopologyCounts(t *testing.T) {
 	}
 }
 
+func TestTeraPool1024Topology(t *testing.T) {
+	tp := TeraPool1024()
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tp.NumCores(); got != 1024 {
+		t.Errorf("NumCores = %d, want 1024", got)
+	}
+	if got := tp.NumBanks(); got != 4096 {
+		t.Errorf("NumBanks = %d, want 4096", got)
+	}
+	if got := tp.NumTiles(); got != 128 {
+		t.Errorf("NumTiles = %d, want 128", got)
+	}
+	// The distance classes must span the full hierarchy: same tile, same
+	// group, remote group.
+	if d := tp.Distance(0, 0); d != 0 {
+		t.Errorf("intra-tile distance = %d", d)
+	}
+	if d := tp.Distance(0, tp.BanksPerTile); d != 1 {
+		t.Errorf("intra-group distance = %d", d)
+	}
+	if d := tp.Distance(0, tp.NumBanks()-1); d != 2 {
+		t.Errorf("cross-group distance = %d", d)
+	}
+	// Every bank must be addressable through the word-interleaved map.
+	for _, b := range []int{0, 1, tp.NumBanks() - 1} {
+		addr := uint32(4 * b)
+		if got := tp.BankOfAddr(addr); got != b {
+			t.Errorf("BankOfAddr(%#x) = %d, want %d", addr, got, b)
+		}
+	}
+}
+
 func TestTopologyMapping(t *testing.T) {
 	mp := MemPool256()
 	// Word interleaving: consecutive words hit consecutive banks.

@@ -37,6 +37,15 @@ func Medium() Topology {
 	return Topology{CoresPerTile: 4, BanksPerTile: 16, TilesPerGroup: 4, NumGroups: 4}
 }
 
+// TeraPool1024 is the TeraPool scale-up evaluated by Bertuletti et al.:
+// 1024 cores and 4096 SPM banks in 128 tiles of 8 cores and 32 banks
+// each, 32 tiles per group, 4 groups. It stretches the same hierarchical
+// fabric one level denser than MemPool, for sweeps beyond the paper's
+// 256 cores.
+func TeraPool1024() Topology {
+	return Topology{CoresPerTile: 8, BanksPerTile: 32, TilesPerGroup: 32, NumGroups: 4}
+}
+
 // Validate checks structural sanity.
 func (t Topology) Validate() error {
 	switch {

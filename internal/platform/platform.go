@@ -5,8 +5,6 @@
 package platform
 
 import (
-	"fmt"
-
 	"repro/internal/bus"
 	"repro/internal/colibri"
 	"repro/internal/cpu"
@@ -14,46 +12,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/noc"
-	"repro/internal/reserve"
 )
-
-// PolicyKind selects the atomics adapter attached to every bank.
-type PolicyKind int
-
-const (
-	// PolicyPlain: no reservation support (baseline / AMO-only runs).
-	PolicyPlain PolicyKind = iota
-	// PolicyLRSCSingle: MemPool's single reservation slot per bank.
-	PolicyLRSCSingle
-	// PolicyLRSCTable: ATUN-style per-core reservation table.
-	PolicyLRSCTable
-	// PolicyWaitQueue: LRSCwait_q hardware queue (QueueCap slots;
-	// 0 means ideal = one per core).
-	PolicyWaitQueue
-	// PolicyColibri: the distributed queue (ColibriQueues head/tail
-	// pairs per bank controller).
-	PolicyColibri
-)
-
-func (p PolicyKind) String() string {
-	switch p {
-	case PolicyPlain:
-		return "plain"
-	case PolicyLRSCSingle:
-		return "lrsc"
-	case PolicyLRSCTable:
-		return "lrsc-table"
-	case PolicyWaitQueue:
-		return "lrscwait"
-	case PolicyColibri:
-		return "colibri"
-	}
-	return fmt.Sprintf("policy(%d)", int(p))
-}
-
-// DefaultColibriQueues is the head/tail pair count a zero
-// Config.ColibriQueues selects (the paper's Colibri configuration).
-const DefaultColibriQueues = 4
 
 // Config describes a system instance.
 type Config struct {
@@ -62,11 +21,14 @@ type Config struct {
 	FIFODepth int
 	// WordsPerBank sizes each bank's storage (default 1024 words).
 	WordsPerBank int
-	Policy       PolicyKind
-	// QueueCap: WaitQueue slots per bank; 0 = ideal (one per core).
-	QueueCap int
-	// ColibriQueues: head/tail pairs per bank controller (default 4).
-	ColibriQueues int
+	// Policy names the registered bank synchronization policy (see
+	// RegisterPolicy / PolicyNames). Empty selects PolicyPlain.
+	Policy PolicyKind
+	// PolicyParams configures the policy instance, with policy-defined
+	// keys (e.g. ParamQueueCap for lrscwait, ParamColibriQ for colibri).
+	// Unknown policy-specific keys are rejected by the policy's
+	// Normalize.
+	PolicyParams PolicyParams
 }
 
 // MemPoolConfig returns the paper's 256-core evaluation configuration with
@@ -96,15 +58,20 @@ func (s fifoSink) TryPush(r bus.Request) bool { return s.f.Push(r) }
 
 // System is a fully wired simulation instance.
 type System struct {
-	Cfg    Config
-	Clock  engine.Clock
+	Cfg   Config
+	Clock engine.Clock
+	// Policy is the resolved, fully configured policy instance the
+	// banks' adapters were built from.
+	Policy Policy
 	Fabric *noc.Fabric
 	Banks  []*mem.Bank
 	Cores  []*cpu.Core
 	Qnodes []*colibri.Qnode
 }
 
-// New builds a system with every core running progFor(core).
+// New builds a system with every core running progFor(core). The
+// configured policy is resolved through the registry; an unregistered
+// name or invalid parameter set panics, like an invalid topology.
 func New(cfg Config, progFor ProgramFor) *System {
 	if err := cfg.Topo.Validate(); err != nil {
 		panic(err)
@@ -115,21 +82,25 @@ func New(cfg Config, progFor ProgramFor) *System {
 	if cfg.WordsPerBank <= 0 {
 		cfg.WordsPerBank = 1024
 	}
-	if cfg.ColibriQueues <= 0 {
-		cfg.ColibriQueues = DefaultColibriQueues
+	pol, err := ResolvePolicy(cfg.Policy, cfg.PolicyParams, cfg.Topo)
+	if err != nil {
+		panic(err)
 	}
-	s := &System{Cfg: cfg}
+	s := &System{Cfg: cfg, Policy: pol}
 	topo := cfg.Topo
 	s.Fabric = noc.NewFabric(topo, &s.Clock, cfg.FIFODepth)
 
 	nBanks := topo.NumBanks()
+	nCores := topo.NumCores()
 	s.Banks = make([]*mem.Bank, nBanks)
 	for b := 0; b < nBanks; b++ {
-		s.Banks[b] = mem.NewBank(b, nBanks, cfg.WordsPerBank, s.newAdapter(),
+		adapter := pol.NewAdapter(BankContext{
+			BankID: b, NumBanks: nBanks, NumCores: nCores, Topo: topo,
+		})
+		s.Banks[b] = mem.NewBank(b, nBanks, cfg.WordsPerBank, adapter,
 			s.Fabric.BankReq[b], s.Fabric.BankResp[b])
 	}
 
-	nCores := topo.NumCores()
 	s.Cores = make([]*cpu.Core, nCores)
 	s.Qnodes = make([]*colibri.Qnode, nCores)
 	for c := 0; c < nCores; c++ {
@@ -138,27 +109,6 @@ func New(cfg Config, progFor ProgramFor) *System {
 		s.Cores[c] = cpu.New(c, nCores, &s.Clock, s.Qnodes[c], prog)
 	}
 	return s
-}
-
-// newAdapter instantiates the configured policy (one adapter per bank).
-func (s *System) newAdapter() mem.Adapter {
-	switch s.Cfg.Policy {
-	case PolicyPlain:
-		return mem.PlainAdapter{}
-	case PolicyLRSCSingle:
-		return reserve.NewSingleSlot()
-	case PolicyLRSCTable:
-		return reserve.NewTable(s.Cfg.Topo.NumCores())
-	case PolicyWaitQueue:
-		cap := s.Cfg.QueueCap
-		if cap <= 0 {
-			cap = s.Cfg.Topo.NumCores()
-		}
-		return reserve.NewWaitQueue(cap)
-	case PolicyColibri:
-		return colibri.NewController(s.Cfg.ColibriQueues)
-	}
-	panic(fmt.Sprintf("platform: unknown policy %d", s.Cfg.Policy))
 }
 
 // Tick advances the whole system by one cycle.

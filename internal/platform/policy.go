@@ -1,0 +1,339 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/colibri"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/reserve"
+)
+
+// PolicyKind names a registered synchronization policy — the key under
+// which a Policy is registered (RegisterPolicy) and selected
+// (Config.Policy, the cmd -policy flags, the sweep policy grid axis).
+type PolicyKind string
+
+// The built-in policy kinds. Any name returned by PolicyNames — built-in
+// or registered by a library user — is equally valid.
+const (
+	// PolicyPlain: no reservation support (baseline / AMO-only runs).
+	PolicyPlain PolicyKind = "plain"
+	// PolicyLRSCSingle: MemPool's single reservation slot per bank.
+	PolicyLRSCSingle PolicyKind = "lrsc"
+	// PolicyLRSCTable: ATUN-style per-core reservation table.
+	PolicyLRSCTable PolicyKind = "lrsc-table"
+	// PolicyWaitQueue: LRSCwait_q hardware queue (ParamQueueCap slots;
+	// 0 means ideal = one per core).
+	PolicyWaitQueue PolicyKind = "lrscwait"
+	// PolicyColibri: the distributed queue (ParamColibriQ head/tail
+	// pairs per bank controller).
+	PolicyColibri PolicyKind = "colibri"
+)
+
+// The shared policy-grid parameter keys. They are broadcast by the sweep
+// engine's policy grids to every policy of a mixed-curve sweep, so every
+// Policy.Normalize must accept them, ignoring the ones that do not apply
+// (PolicyParams.Check implements exactly that contract). Policy-specific
+// keys beyond these are rejected when unknown.
+const (
+	// ParamQueueCap is the WaitQueue slot count (0 = ideal, one per
+	// core).
+	ParamQueueCap = "queuecap"
+	// ParamColibriQ is the Colibri head/tail pair count per bank
+	// controller (0 = DefaultColibriQueues).
+	ParamColibriQ = "colibriq"
+)
+
+// DefaultColibriQueues is the head/tail pair count a zero or absent
+// ParamColibriQ selects (the paper's Colibri configuration).
+const DefaultColibriQueues = 4
+
+// PolicyParams is the free-form configuration of one policy instance,
+// as carried by Config.PolicyParams and the cmd front ends. Keys are
+// policy-defined; see each policy's documentation.
+type PolicyParams map[string]string
+
+// Int returns the integer value of key, or def when the key is absent.
+func (p PolicyParams) Int(key string, def int) (int, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("platform: policy parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// Check validates the parameter key set: every key must be one of the
+// shared grid axis keys (ParamQueueCap, ParamColibriQ — broadcast to all
+// policies and legitimately ignored when inapplicable) or listed in
+// known. Policy Normalize implementations call it so a mistyped
+// policy-specific parameter fails loudly instead of silently selecting a
+// default.
+func (p PolicyParams) Check(known ...string) error {
+	for key := range p {
+		if key == ParamQueueCap || key == ParamColibriQ {
+			continue
+		}
+		ok := false
+		for _, k := range known {
+			if key == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("platform: unknown policy parameter %q", key)
+		}
+	}
+	return nil
+}
+
+// BankContext is what a Policy sees of the machine when instantiating
+// one bank's adapter.
+type BankContext struct {
+	// BankID and NumBanks identify the bank within the machine.
+	BankID, NumBanks int
+	// NumCores is the machine's core count; per-core reservation
+	// structures (tables, ideal queues) size from it.
+	NumCores int
+	// Topo is the full topology, for adapters that care about placement.
+	Topo noc.Topology
+}
+
+// Policy describes one synchronization-primitive family: how its name
+// and parameters resolve into a configured instance, and how that
+// instance equips every memory bank with an adapter. Implementations
+// registered with RegisterPolicy (or the lrscwait.RegisterPolicy facade)
+// are addressable from Config.Policy, the cmd -policy flags, and the
+// sweep engine's policy grid axis exactly like the built-in kinds.
+//
+// A policy may additionally implement the energy.PolicyWeights and
+// area.PolicyRows extension interfaces to supply its own calibrated
+// energy constants and Table I area rows.
+type Policy interface {
+	// Name is the registry key.
+	Name() string
+
+	// Normalize returns a fully configured instance of the policy for
+	// the given parameters on topo, validating values. Unknown
+	// policy-specific keys must be rejected (see PolicyParams.Check);
+	// the shared grid axis keys are ignored when inapplicable. The
+	// receiver is the registered prototype and must not be mutated.
+	Normalize(params PolicyParams, topo noc.Topology) (Policy, error)
+
+	// NewAdapter instantiates this instance's adapter for one bank.
+	// Every bank gets its own adapter (banks never share reservation
+	// state).
+	NewAdapter(bank BankContext) mem.Adapter
+}
+
+// The package policy registry. Built-in policies register at init;
+// custom policies register through RegisterPolicy /
+// lrscwait.RegisterPolicy.
+var (
+	polMu     sync.RWMutex
+	policyReg = map[string]Policy{}
+)
+
+// RegisterPolicy adds a policy to the registry, making it addressable
+// from Config.Policy, the -policy flags, and the sweep policy grid. A
+// duplicate name is rejected so two packages cannot silently shadow each
+// other's hardware; names must be cache-key clean (non-empty, no
+// whitespace, no '|').
+func RegisterPolicy(p Policy) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("platform: cannot register a policy with an empty name")
+	}
+	if strings.ContainsAny(name, "| \t\n") {
+		return fmt.Errorf("platform: policy name %q contains '|' or whitespace", name)
+	}
+	polMu.Lock()
+	defer polMu.Unlock()
+	if _, dup := policyReg[name]; dup {
+		return fmt.Errorf("platform: policy %q already registered", name)
+	}
+	policyReg[name] = p
+	return nil
+}
+
+// MustRegisterPolicy is RegisterPolicy, panicking on error. Intended for
+// package init of policy libraries.
+func MustRegisterPolicy(p Policy) {
+	if err := RegisterPolicy(p); err != nil {
+		panic(err)
+	}
+}
+
+// LookupPolicy returns the policy prototype registered under name.
+func LookupPolicy(name string) (Policy, bool) {
+	polMu.RLock()
+	defer polMu.RUnlock()
+	p, ok := policyReg[name]
+	return p, ok
+}
+
+// PolicyNames returns every registered policy name, sorted.
+func PolicyNames() []string {
+	polMu.RLock()
+	defer polMu.RUnlock()
+	names := make([]string, 0, len(policyReg))
+	for name := range policyReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// policyNamesList renders the registry for error messages.
+func policyNamesList() string {
+	names := PolicyNames()
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}
+
+// ResolvePolicy resolves a policy name and parameter set into a
+// configured instance on topo. An empty name selects PolicyPlain
+// (matching the zero Config); an unregistered name errors with the
+// registered names listed.
+func ResolvePolicy(name PolicyKind, params PolicyParams, topo noc.Topology) (Policy, error) {
+	if name == "" {
+		name = PolicyPlain
+	}
+	proto, ok := LookupPolicy(string(name))
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown policy %q (registered: %s)",
+			name, policyNamesList())
+	}
+	p, err := proto.Normalize(params, topo)
+	if err != nil {
+		return nil, fmt.Errorf("platform: policy %s: %w", name, err)
+	}
+	return p, nil
+}
+
+func init() {
+	MustRegisterPolicy(plainPolicy{})
+	MustRegisterPolicy(singleSlotPolicy{})
+	MustRegisterPolicy(tablePolicy{})
+	MustRegisterPolicy(waitQueuePolicy{})
+	MustRegisterPolicy(colibriPolicy{})
+}
+
+// plainPolicy is the no-reservation baseline: banks support only loads,
+// stores and AMOs; every LR/SC-family operation is refused.
+type plainPolicy struct{}
+
+func (plainPolicy) Name() string { return string(PolicyPlain) }
+
+func (p plainPolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (plainPolicy) NewAdapter(BankContext) mem.Adapter { return mem.PlainAdapter{} }
+
+// singleSlotPolicy is MemPool's baseline LRSC: one reservation slot per
+// bank. It takes no parameters.
+type singleSlotPolicy struct{}
+
+func (singleSlotPolicy) Name() string { return string(PolicyLRSCSingle) }
+
+func (p singleSlotPolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (singleSlotPolicy) NewAdapter(BankContext) mem.Adapter { return reserve.NewSingleSlot() }
+
+// tablePolicy is the ATUN-style reservation table: one entry per core
+// per bank. It takes no parameters (the table sizes from the topology).
+type tablePolicy struct{}
+
+func (tablePolicy) Name() string { return string(PolicyLRSCTable) }
+
+func (p tablePolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (tablePolicy) NewAdapter(b BankContext) mem.Adapter { return reserve.NewTable(b.NumCores) }
+
+// waitQueuePolicy is the paper's LRSCwait_q hardware queue. Its
+// ParamQueueCap parameter is the slot count per bank; 0 (the default)
+// selects the ideal queue with one slot per core.
+type waitQueuePolicy struct {
+	queueCap int // 0 = ideal (one slot per core)
+}
+
+func (waitQueuePolicy) Name() string { return string(PolicyWaitQueue) }
+
+func (waitQueuePolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	cap, err := params.Int(ParamQueueCap, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cap < 0 {
+		return nil, fmt.Errorf("platform: %s=%d (want 0 = ideal, or slots)", ParamQueueCap, cap)
+	}
+	return waitQueuePolicy{queueCap: cap}, nil
+}
+
+func (p waitQueuePolicy) NewAdapter(b BankContext) mem.Adapter {
+	cap := p.queueCap
+	if cap <= 0 {
+		cap = b.NumCores
+	}
+	return reserve.NewWaitQueue(cap)
+}
+
+// colibriPolicy is the paper's distributed reservation queue. Its
+// ParamColibriQ parameter is the head/tail pair count per bank
+// controller; 0 (the default) selects DefaultColibriQueues.
+type colibriPolicy struct {
+	queues int // 0 = DefaultColibriQueues
+}
+
+func (colibriPolicy) Name() string { return string(PolicyColibri) }
+
+func (colibriPolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	q, err := params.Int(ParamColibriQ, 0)
+	if err != nil {
+		return nil, err
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("platform: %s=%d (want >= 1 head/tail pair, 0 = default)",
+			ParamColibriQ, q)
+	}
+	return colibriPolicy{queues: q}, nil
+}
+
+func (p colibriPolicy) NewAdapter(BankContext) mem.Adapter {
+	q := p.queues
+	if q <= 0 {
+		q = DefaultColibriQueues
+	}
+	return colibri.NewController(q)
+}

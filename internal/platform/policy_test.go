@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+func TestPolicyNamesContainsBuiltins(t *testing.T) {
+	names := map[string]bool{}
+	all := PolicyNames()
+	for _, n := range all {
+		names[n] = true
+	}
+	for _, k := range []PolicyKind{PolicyPlain, PolicyLRSCSingle, PolicyLRSCTable,
+		PolicyWaitQueue, PolicyColibri} {
+		if !names[string(k)] {
+			t.Errorf("built-in policy %s missing from PolicyNames()", k)
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("PolicyNames() not sorted: %v", all)
+		}
+	}
+}
+
+func TestRegisterPolicyRejectsBadNames(t *testing.T) {
+	for _, name := range []string{"", "has space", "has|pipe", string(PolicyColibri)} {
+		if err := RegisterPolicy(litmusPolicyNamed(name)); err == nil {
+			t.Errorf("RegisterPolicy(%q) accepted", name)
+		}
+	}
+}
+
+// litmusPolicyNamed wraps the test policy with an arbitrary name for
+// registration-validation cases (never instantiated).
+type namedPolicy struct{ name string }
+
+func litmusPolicyNamed(name string) Policy { return namedPolicy{name} }
+
+func (p namedPolicy) Name() string { return p.name }
+func (p namedPolicy) Normalize(params PolicyParams, _ noc.Topology) (Policy, error) {
+	return p, nil
+}
+func (p namedPolicy) NewAdapter(BankContext) mem.Adapter { return nil }
+
+func TestResolvePolicyErrors(t *testing.T) {
+	topo := noc.Small()
+	if _, err := ResolvePolicy("nonesuch", nil, topo); err == nil {
+		t.Error("unknown policy accepted")
+	} else if !strings.Contains(err.Error(), `"nonesuch"`) ||
+		!strings.Contains(err.Error(), "registered:") ||
+		!strings.Contains(err.Error(), string(PolicyColibri)) {
+		t.Errorf("unknown-policy error does not list the registry: %v", err)
+	}
+	// Empty name selects plain (the zero Config).
+	pol, err := ResolvePolicy("", nil, topo)
+	if err != nil || pol.Name() != string(PolicyPlain) {
+		t.Errorf("empty name resolved to %v, %v", pol, err)
+	}
+	// A mistyped policy-specific key fails loudly...
+	if _, err := ResolvePolicy(PolicyWaitQueue, PolicyParams{"bogus": "1"}, topo); err == nil {
+		t.Error("unknown parameter key accepted")
+	}
+	// ...while the shared grid axes are tolerated everywhere, including
+	// by policies they don't apply to.
+	for _, kind := range []PolicyKind{PolicyPlain, PolicyLRSCSingle, PolicyLRSCTable,
+		PolicyWaitQueue, PolicyColibri} {
+		params := PolicyParams{ParamQueueCap: "2", ParamColibriQ: "2"}
+		if _, err := ResolvePolicy(kind, params, topo); err != nil {
+			t.Errorf("%s rejected the shared axes: %v", kind, err)
+		}
+	}
+	// Malformed and out-of-range values are rejected.
+	if _, err := ResolvePolicy(PolicyWaitQueue, PolicyParams{ParamQueueCap: "x"}, topo); err == nil {
+		t.Error("non-integer queuecap accepted")
+	}
+	if _, err := ResolvePolicy(PolicyWaitQueue, PolicyParams{ParamQueueCap: "-1"}, topo); err == nil {
+		t.Error("negative queuecap accepted")
+	}
+	if _, err := ResolvePolicy(PolicyColibri, PolicyParams{ParamColibriQ: "-2"}, topo); err == nil {
+		t.Error("negative colibriq accepted")
+	}
+}
+
+// haltProgram is the trivial kernel for construction smoke tests.
+func haltProgram() *isa.Program {
+	b := isa.NewBuilder()
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestPolicyParamsReachAdapters pins the parameter plumbing end to end:
+// the adapter each bank actually receives reflects the configured
+// parameters (and their defaults).
+func TestPolicyParamsReachAdapters(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		adapter string
+	}{
+		{"waitqueue-ideal", SmallConfig(PolicyWaitQueue), "lrscwait-16"},
+		{"waitqueue-capped", Config{Topo: noc.Small(), Policy: PolicyWaitQueue,
+			PolicyParams: PolicyParams{ParamQueueCap: "1"}}, "lrscwait-1"},
+		{"colibri-default", SmallConfig(PolicyColibri), "colibri-4"},
+		{"colibri-2", Config{Topo: noc.Small(), Policy: PolicyColibri,
+			PolicyParams: PolicyParams{ParamColibriQ: "2"}}, "colibri-2"},
+		{"plain", SmallConfig(PolicyPlain), "plain"},
+		{"zero-config-policy", Config{Topo: noc.Small()}, "plain"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys := New(c.cfg, SameProgram(haltProgram()))
+			if got := sys.Banks[0].Adapter().Name(); got != c.adapter {
+				t.Errorf("bank adapter = %q, want %q", got, c.adapter)
+			}
+			if sys.Policy == nil {
+				t.Error("System.Policy not recorded")
+			}
+		})
+	}
+}
+
+// TestNewPanicsOnUnknownPolicy pins the construction contract: an
+// unregistered policy name is a programming error, like an invalid
+// topology.
+func TestNewPanicsOnUnknownPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with an unknown policy did not panic")
+		}
+	}()
+	New(Config{Topo: noc.Small(), Policy: "nonesuch"}, SameProgram(haltProgram()))
+}
+
+// TestTeraPool1024Construction is the scale smoke test: the 1024-core,
+// 4096-bank TeraPool topology must wire up and simulate. Guarded by
+// -short because constructing the full machine allocates tens of
+// megabytes of bank storage.
+func TestTeraPool1024Construction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TeraPool construction is memory-heavy; skipped with -short")
+	}
+	topo := noc.TeraPool1024()
+	sys := New(Config{Topo: topo, Policy: PolicyColibri}, SameProgram(haltProgram()))
+	if got := len(sys.Cores); got != 1024 {
+		t.Fatalf("cores = %d, want 1024", got)
+	}
+	if got := len(sys.Banks); got != 4096 {
+		t.Fatalf("banks = %d, want 4096", got)
+	}
+	// The far corner of the address space must be reachable.
+	last := uint32(4 * (topo.NumBanks()*1024 - 1))
+	sys.WriteWord(last, 7)
+	if got := sys.ReadWord(last); got != 7 {
+		t.Fatalf("far-corner word = %d, want 7", got)
+	}
+	if !sys.RunUntilHalted(1000) {
+		t.Fatal("halt-only kernel did not halt")
+	}
+	if !sys.Quiescent() {
+		t.Error("system not quiescent after halt")
+	}
+}

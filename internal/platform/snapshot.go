@@ -1,9 +1,8 @@
 package platform
 
 import (
-	"repro/internal/colibri"
 	"repro/internal/engine"
-	"repro/internal/reserve"
+	"repro/internal/mem"
 )
 
 // Activity is a cumulative activity snapshot across the whole system; the
@@ -133,36 +132,21 @@ func (s *System) Measure(warmup, measure int) Activity {
 	return Delta(before, s.Snapshot())
 }
 
-// PolicyStats aggregates the adapter statistics across all banks (zero
-// values for policies without the counter).
+// PolicyStats aggregates the adapter statistics across all banks, for
+// every adapter — built-in or custom — that reports through
+// mem.StatsReporter (zero values for adapters that don't).
 func (s *System) PolicyStats() (grants, refused, scSuccess, scFail, invalidations uint64) {
 	for _, b := range s.Banks {
-		switch ad := b.Adapter().(type) {
-		case *reserve.SingleSlot:
-			grants += ad.Stats.Grants
-			refused += ad.Stats.Refused
-			scSuccess += ad.Stats.SCSuccess
-			scFail += ad.Stats.SCFail
-			invalidations += ad.Stats.Invalidations
-		case *reserve.Table:
-			grants += ad.Stats.Grants
-			refused += ad.Stats.Refused
-			scSuccess += ad.Stats.SCSuccess
-			scFail += ad.Stats.SCFail
-			invalidations += ad.Stats.Invalidations
-		case *reserve.WaitQueue:
-			grants += ad.Stats.Grants
-			refused += ad.Stats.Refused
-			scSuccess += ad.Stats.SCSuccess
-			scFail += ad.Stats.SCFail
-			invalidations += ad.Stats.Invalidations
-		case *colibri.Controller:
-			grants += ad.Stats.Grants
-			refused += ad.Stats.Refused
-			scSuccess += ad.Stats.SCSuccess
-			scFail += ad.Stats.SCFail
-			invalidations += ad.Stats.Invalidations
+		sr, ok := b.Adapter().(mem.StatsReporter)
+		if !ok {
+			continue
 		}
+		st := sr.AdapterStats()
+		grants += st.Grants
+		refused += st.Refused
+		scSuccess += st.SCSuccess
+		scFail += st.SCFail
+		invalidations += st.Invalidations
 	}
 	return
 }

@@ -21,19 +21,10 @@ import (
 	"repro/internal/mem"
 )
 
-// Stats counts policy-level events, shared by all adapters in this package.
-type Stats struct {
-	// Grants counts LR/LRwait/Mwait reservations handed out.
-	Grants uint64
-	// Refused counts LRwait/Mwait requests rejected because no queue
-	// slot was free (the core falls back to retrying).
-	Refused uint64
-	// SCSuccess and SCFail count store-conditional outcomes.
-	SCSuccess uint64
-	SCFail    uint64
-	// Invalidations counts reservations killed by intervening writes.
-	Invalidations uint64
-}
+// Stats counts policy-level events, shared by all adapters in this
+// package. It is the shared mem.AdapterStats vocabulary, so every
+// adapter here reports through mem.StatsReporter.
+type Stats = mem.AdapterStats
 
 // SingleSlot is MemPool's baseline LRSC unit: a single reservation slot
 // per bank. The slot is granted to the first LR and held until the
@@ -56,6 +47,9 @@ func NewSingleSlot() *SingleSlot { return &SingleSlot{} }
 
 // Name implements mem.Adapter.
 func (a *SingleSlot) Name() string { return "lrsc-single" }
+
+// AdapterStats implements mem.StatsReporter.
+func (a *SingleSlot) AdapterStats() mem.AdapterStats { return a.Stats }
 
 // Handle implements mem.Adapter.
 func (a *SingleSlot) Handle(req bus.Request, s mem.Storage) []bus.Response {
@@ -130,6 +124,9 @@ func NewTable(numCores int) *Table {
 
 // Name implements mem.Adapter.
 func (a *Table) Name() string { return "lrsc-table" }
+
+// AdapterStats implements mem.StatsReporter.
+func (a *Table) AdapterStats() mem.AdapterStats { return a.Stats }
 
 func (a *Table) invalidate(addr uint32) {
 	for i := range a.valid {

@@ -54,6 +54,9 @@ func NewWaitQueue(capacity int) *WaitQueue {
 // Name implements mem.Adapter.
 func (a *WaitQueue) Name() string { return fmt.Sprintf("lrscwait-%d", a.capacity) }
 
+// AdapterStats implements mem.StatsReporter.
+func (a *WaitQueue) AdapterStats() mem.AdapterStats { return a.Stats }
+
 // Capacity returns the total number of reservation slots.
 func (a *WaitQueue) Capacity() int { return a.capacity }
 

@@ -29,27 +29,40 @@ func ParseBins(s string) ([]int, error) {
 	return bins, nil
 }
 
-// Grid is a parsed -grid flag: the three policy axes a sweep can
+// Grid is a parsed -grid flag: the policy axes a sweep can
 // cross-product over. Zero-valued axes are not swept.
 type Grid struct {
+	Policies                           []string
 	QueueCaps, ColibriQueues, Backoffs []int
 }
 
 // ParseGrid parses the -grid flag syntax: whitespace-separated
 // axis=v1,v2,... clauses, e.g.
 //
-//	queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64
+//	policy=lrsc,colibri queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64
 //
-// Axes are queuecap (WaitQueue slots, 0 = ideal), colibriq (head/tail
-// pairs) and backoff (cycles, 0 = none). Values are non-negative
-// integers; range checks beyond that are Normalize's job. A repeated
-// axis accumulates. The empty string parses to the zero Grid.
+// Axes are policy (registered platform policy names — existence checks
+// are Normalize's job), queuecap (WaitQueue slots, 0 = ideal), colibriq
+// (head/tail pairs) and backoff (cycles, 0 = none). Numeric values are
+// non-negative integers; range checks beyond that are Normalize's job.
+// A repeated axis accumulates. The empty string parses to the zero
+// Grid.
 func ParseGrid(s string) (Grid, error) {
 	var g Grid
 	for _, clause := range strings.Fields(s) {
 		axis, list, ok := strings.Cut(clause, "=")
 		if !ok || list == "" {
 			return Grid{}, fmt.Errorf("bad grid clause %q (want axis=v1,v2,...)", clause)
+		}
+		if axis == "policy" {
+			for _, tok := range strings.Split(list, ",") {
+				name := strings.TrimSpace(tok)
+				if name == "" {
+					return Grid{}, fmt.Errorf("bad policy grid value %q", tok)
+				}
+				g.Policies = append(g.Policies, name)
+			}
+			continue
 		}
 		var vals []int
 		for _, tok := range strings.Split(list, ",") {
@@ -67,7 +80,7 @@ func ParseGrid(s string) (Grid, error) {
 		case "backoff":
 			g.Backoffs = append(g.Backoffs, vals...)
 		default:
-			return Grid{}, fmt.Errorf("unknown grid axis %q (have queuecap, colibriq, backoff)", axis)
+			return Grid{}, fmt.Errorf("unknown grid axis %q (have policy, queuecap, colibriq, backoff)", axis)
 		}
 	}
 	return g, nil
@@ -75,11 +88,13 @@ func ParseGrid(s string) (Grid, error) {
 
 // IsZero reports whether no axis is set.
 func (g Grid) IsZero() bool {
-	return len(g.QueueCaps) == 0 && len(g.ColibriQueues) == 0 && len(g.Backoffs) == 0
+	return len(g.Policies) == 0 && len(g.QueueCaps) == 0 &&
+		len(g.ColibriQueues) == 0 && len(g.Backoffs) == 0
 }
 
 // Apply sets the grid axes on a job.
 func (g Grid) Apply(j *Job) {
+	j.Policies = g.Policies
 	j.QueueCaps = g.QueueCaps
 	j.ColibriQueues = g.ColibriQueues
 	j.Backoffs = g.Backoffs

@@ -368,6 +368,10 @@ func randomJob(rng *rand.Rand) Job {
 		j.Kind = TableII
 	default:
 		j.Kind = figKinds[rng.Intn(len(figKinds))]
+		registered := []string{"plain", "lrsc", "lrsc-table", "lrscwait", "colibri"}
+		for i := rng.Intn(3); i > 0; i-- {
+			j.Policies = append(j.Policies, registered[rng.Intn(len(registered))])
+		}
 		j.QueueCaps = vals(rng.Intn(4), 0, 8)
 		j.ColibriQueues = vals(rng.Intn(4), 1, 8)
 		j.Backoffs = vals(rng.Intn(4), 0, 256)
@@ -402,6 +406,12 @@ func shuffleGrid(j Job, rng *rand.Rand) Job {
 	j.QueueCaps = mix(j.QueueCaps)
 	j.ColibriQueues = mix(j.ColibriQueues)
 	j.Backoffs = mix(j.Backoffs)
+	if len(j.Policies) > 0 {
+		out := append([]string(nil), j.Policies...)
+		out = append(out, out[rng.Intn(len(out))])
+		rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+		j.Policies = out
+	}
 	return j
 }
 

@@ -141,22 +141,29 @@ func (p Point) Metrics() []string {
 // GridCoord identifies one point of a policy grid: which axes the job
 // swept and the value each takes for a series. Unset axes stay nil and
 // are omitted from JSON, so results of grid-free jobs serialize exactly
-// as before the grid axes existed.
+// as before the grid axes existed. Policy overrides the hardware policy
+// itself (a registered platform policy name); the remaining axes
+// override its parameters.
 type GridCoord struct {
-	QueueCap      *int `json:"queueCap,omitempty"`
-	ColibriQueues *int `json:"colibriQueues,omitempty"`
-	Backoff       *int `json:"backoff,omitempty"`
+	Policy        *string `json:"policy,omitempty"`
+	QueueCap      *int    `json:"queueCap,omitempty"`
+	ColibriQueues *int    `json:"colibriQueues,omitempty"`
+	Backoff       *int    `json:"backoff,omitempty"`
 }
 
 // IsZero reports whether no axis is set (a grid-free sweep).
 func (g GridCoord) IsZero() bool {
-	return g.QueueCap == nil && g.ColibriQueues == nil && g.Backoff == nil
+	return g.Policy == nil && g.QueueCap == nil && g.ColibriQueues == nil && g.Backoff == nil
 }
 
 // Label renders the coordinate in the -grid flag syntax, e.g.
-// "queuecap=2 colibriq=4 backoff=64". Empty when no axis is set.
+// "policy=lrsc queuecap=2 colibriq=4 backoff=64". Empty when no axis is
+// set.
 func (g GridCoord) Label() string {
 	var parts []string
+	if g.Policy != nil {
+		parts = append(parts, "policy="+*g.Policy)
+	}
 	if g.QueueCap != nil {
 		parts = append(parts, "queuecap="+strconv.Itoa(*g.QueueCap))
 	}

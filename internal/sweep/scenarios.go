@@ -8,6 +8,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/noc"
+	"repro/internal/platform"
 	"repro/internal/stats"
 )
 
@@ -42,12 +43,16 @@ func init() {
 	MustRegister(energyScenario{})
 }
 
-// Merge overlays the coordinate's set axes on a policy baseline. Grid
-// backoffs are literal cycles, so they are re-encoded in the Policy
-// convention (0 cycles -> the negative no-backoff sentinel). Scenario
-// implementations use it to derive the effective per-point policy from
-// their spec's baked-in baseline.
+// Merge overlays the coordinate's set axes on a policy baseline. A
+// policy axis replaces the baseline's hardware policy by registered
+// name; grid backoffs are literal cycles, so they are re-encoded in the
+// Policy convention (0 cycles -> the negative no-backoff sentinel).
+// Scenario implementations use it to derive the effective per-point
+// policy from their spec's baked-in baseline.
 func (g GridCoord) Merge(base experiments.Policy) experiments.Policy {
+	if g.Policy != nil {
+		base.Kind = platform.PolicyKind(*g.Policy)
+	}
 	if g.QueueCap != nil {
 		base.QueueCap = *g.QueueCap
 	}
@@ -61,26 +66,20 @@ func (g GridCoord) Merge(base experiments.Policy) experiments.Policy {
 }
 
 // histSpecKey canonicalizes a histogram curve spec together with the
-// effective policy it runs under. The policy is keyed fully resolved —
-// backoff in literal cycles, Colibri queues as the count the platform
-// instantiates — so a grid value that merely restates a default (e.g.
-// backoff=128 or colibriq=4) hits the same cache entry as the grid-free
-// run: it is the same simulation. Jobs differing in any effective axis
-// get distinct keys. QueueCap stays literal: 0 (ideal, one slot per
-// core) is resolved by the platform against the topology, which is
-// already part of the key prefix.
+// effective policy it runs under. The policy owns its key fragment
+// (Policy.KeyFragment): the registered kind name plus every parameter
+// fully resolved, so a grid value that merely restates a default (e.g.
+// backoff=128, colibriq=4, or the spec's own policy name) hits the same
+// cache entry as the grid-free run: it is the same simulation. Jobs
+// differing in any effective axis get distinct keys.
 func histSpecKey(s experiments.HistSpec, pol experiments.Policy) string {
-	return fmt.Sprintf("%s|v%d|p%d|q%d|cq%d|bo%d",
-		s.Name, s.Variant, s.Policy, pol.QueueCap,
-		pol.ResolveColibriQueues(), pol.ResolveBackoff())
+	return fmt.Sprintf("%s|v%d|%s", s.Name, s.Variant, pol.KeyFragment())
 }
 
 // queueSpecKey canonicalizes a queue curve spec and its effective,
 // fully-resolved policy (see histSpecKey).
 func queueSpecKey(s experiments.QueueSpec, pol experiments.Policy) string {
-	return fmt.Sprintf("%s|v%d|p%d|ms%t|q%d|cq%d|bo%d",
-		s.Name, s.Variant, s.Policy, s.MS, pol.QueueCap,
-		pol.ResolveColibriQueues(), pol.ResolveBackoff())
+	return fmt.Sprintf("%s|v%d|ms%t|%s", s.Name, s.Variant, s.MS, pol.KeyFragment())
 }
 
 // histScenario is fig3/fig4: histogram throughput vs contention, one
@@ -273,7 +272,25 @@ func (areaScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 }
 
 func (areaScenario) Curves(topo noc.Topology, j Job) ([]Curve, error) {
-	rows := area.TableI(area.Default(), j.Cores)
+	m := area.Default()
+	rows := area.TableI(m, j.Cores)
+	// Registered policies implementing the area.PolicyRows hook
+	// contribute their own designs after the published configurations
+	// (registry order is sorted, so the layout is deterministic). The
+	// built-ins are already covered by TableI and add nothing.
+	for _, name := range platform.PolicyNames() {
+		pol, ok := platform.LookupPolicy(name)
+		if !ok {
+			continue
+		}
+		if pr, ok := pol.(area.PolicyRows); ok {
+			extra := pr.AreaRows(m, j.Cores)
+			for i := range extra {
+				extra[i].OverheadP = m.Overhead(extra[i].AreaKGE)
+			}
+			rows = append(rows, extra...)
+		}
+	}
 	return []Curve{{
 		Name: string(TableI), NumPoints: len(rows),
 		Run: func(g GridCoord, pt int) Point {
@@ -314,6 +331,9 @@ func (energyScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 func (energyScenario) Curves(topo noc.Topology, j Job) ([]Curve, error) {
 	warmup, measure := window(j.Warmup), window(j.Measure)
 	specs := experiments.TableIISpecs()
+	// The rows are the paper's fixed built-in policies, which share the
+	// one calibrated model; the energy.PolicyWeights hook applies where
+	// a custom policy is actually configured (cmd/lrscwait-sim).
 	params := energy.Default()
 	return []Curve{{
 		Name: string(TableII), NumPoints: len(specs), Sim: true,

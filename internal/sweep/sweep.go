@@ -19,13 +19,16 @@
 package sweep
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/noc"
+	"repro/internal/platform"
 )
 
 // Kind names one registered scenario (see Register / Names).
@@ -49,10 +52,11 @@ func Kinds() []Kind {
 }
 
 // cacheVersion invalidates every cached point when the simulator or the
-// calibrated models change incompatibly. v3: the registry-based Scenario
-// API — cache keys are scenario-owned (engine prefix + Curve.Key
-// fragment), so every pre-registry entry is stale.
-const cacheVersion = "v3"
+// calibrated models change incompatibly. v4: the registry-based Policy
+// API — hardware policies are keyed by registered name through
+// experiments.Policy.KeyFragment (policy-owned key fragments) instead of
+// enum ordinals, so every pre-registry entry is stale.
+const cacheVersion = "v4"
 
 // Job is a declarative sweep specification. Zero-valued fields select
 // the scenario's defaults (see Normalize and Scenario.Normalize).
@@ -75,18 +79,22 @@ type Job struct {
 	Cores int `json:"cores,omitempty"`
 
 	// Policy-grid axes (scenarios with GridAxes only). Each non-empty
-	// axis overrides the corresponding policy parameter on every curve
+	// axis overrides the corresponding policy dimension on every curve
 	// of the scenario, and the cross-product of all set axes multiplies
 	// the series set: one labelled series per (curve, grid coordinate),
 	// whose points cross-product with the curve's own coordinate into
-	// independent units. Values are literal: QueueCaps in WaitQueue
-	// slots (0 = ideal, one per core), ColibriQueues in head/tail pairs
-	// (>= 1), Backoffs in cycles (0 = literally no backoff). Empty axes
-	// leave the curves' baked-in parameters untouched; all-empty
-	// reproduces the grid-free sweep exactly.
-	QueueCaps     []int `json:"queueCaps,omitempty"`
-	ColibriQueues []int `json:"colibriQueues,omitempty"`
-	Backoffs      []int `json:"backoffs,omitempty"`
+	// independent units. Policies names registered platform policies
+	// (see platform.PolicyNames), replacing each curve's baked-in
+	// hardware policy outright; the remaining axes are literal parameter
+	// values: QueueCaps in WaitQueue slots (0 = ideal, one per core),
+	// ColibriQueues in head/tail pairs (>= 1), Backoffs in cycles (0 =
+	// literally no backoff). Empty axes leave the curves' baked-in
+	// policy untouched; all-empty reproduces the grid-free sweep
+	// exactly.
+	Policies      []string `json:"policies,omitempty"`
+	QueueCaps     []int    `json:"queueCaps,omitempty"`
+	ColibriQueues []int    `json:"colibriQueues,omitempty"`
+	Backoffs      []int    `json:"backoffs,omitempty"`
 
 	// Params carries free-form scenario-defined parameters (custom
 	// scenarios read them in Normalize/Curves; the built-in kinds take
@@ -108,31 +116,34 @@ func (j *Job) defaultWindows(warmup, measure int) {
 
 // HasGrid reports whether any policy-grid axis is set.
 func (j Job) HasGrid() bool {
-	return len(j.QueueCaps) > 0 || len(j.ColibriQueues) > 0 || len(j.Backoffs) > 0
+	return len(j.Policies) > 0 || len(j.QueueCaps) > 0 ||
+		len(j.ColibriQueues) > 0 || len(j.Backoffs) > 0
 }
 
 // gridPoints expands the job's set axes into the cross-product of grid
-// coordinates, QueueCaps-major, in normalized (ascending) order. A job
-// with no grid yields the single zero coordinate: no overrides.
+// coordinates, Policies-major then QueueCaps, in normalized (ascending)
+// order. A job with no grid yields the single zero coordinate: no
+// overrides.
 func (j Job) gridPoints() []GridCoord {
 	coords := []GridCoord{{}}
-	cross := func(vals []int, set func(*GridCoord, *int)) {
-		if len(vals) == 0 {
+	cross := func(n int, set func(*GridCoord, int)) {
+		if n == 0 {
 			return
 		}
-		out := make([]GridCoord, 0, len(coords)*len(vals))
+		out := make([]GridCoord, 0, len(coords)*n)
 		for _, c := range coords {
-			for i := range vals {
+			for i := 0; i < n; i++ {
 				next := c
-				set(&next, &vals[i])
+				set(&next, i)
 				out = append(out, next)
 			}
 		}
 		coords = out
 	}
-	cross(j.QueueCaps, func(c *GridCoord, v *int) { c.QueueCap = v })
-	cross(j.ColibriQueues, func(c *GridCoord, v *int) { c.ColibriQueues = v })
-	cross(j.Backoffs, func(c *GridCoord, v *int) { c.Backoff = v })
+	cross(len(j.Policies), func(c *GridCoord, i int) { c.Policy = &j.Policies[i] })
+	cross(len(j.QueueCaps), func(c *GridCoord, i int) { c.QueueCap = &j.QueueCaps[i] })
+	cross(len(j.ColibriQueues), func(c *GridCoord, i int) { c.ColibriQueues = &j.ColibriQueues[i] })
+	cross(len(j.Backoffs), func(c *GridCoord, i int) { c.Backoff = &j.Backoffs[i] })
 	return coords
 }
 
@@ -178,9 +189,16 @@ func (j Job) Normalize() (Job, error) {
 		if !sc.GridAxes() {
 			return j, fmt.Errorf("sweep: policy-grid axes do not apply to %s", j.Kind)
 		}
+		j.Policies = canonAxis(j.Policies)
 		j.QueueCaps = canonAxis(j.QueueCaps)
 		j.ColibriQueues = canonAxis(j.ColibriQueues)
 		j.Backoffs = canonAxis(j.Backoffs)
+		for _, name := range j.Policies {
+			if _, ok := platform.LookupPolicy(name); !ok {
+				return j, fmt.Errorf("sweep: unknown policy %q (registered: %s)",
+					name, strings.Join(platform.PolicyNames(), ", "))
+			}
+		}
 		for _, v := range j.QueueCaps {
 			if v < 0 {
 				return j, fmt.Errorf("sweep: bad grid queuecap %d (0 = ideal, else slots)", v)
@@ -200,15 +218,16 @@ func (j Job) Normalize() (Job, error) {
 	return j, nil
 }
 
-// canonAxis sorts a grid axis ascending and removes duplicates. Nil in,
-// nil out, so grid-free jobs stay byte-identical through Normalize.
-func canonAxis(vals []int) []int {
+// canonAxis sorts a grid axis ascending and removes duplicates (it
+// serves the int parameter axes and the string policy axis alike). Nil
+// in, nil out, so grid-free jobs stay byte-identical through Normalize.
+func canonAxis[T cmp.Ordered](vals []T) []T {
 	if len(vals) == 0 {
 		return nil
 	}
-	out := make([]int, len(vals))
+	out := make([]T, len(vals))
 	copy(out, vals)
-	sort.Ints(out)
+	slices.Sort(out)
 	n := 1
 	for _, v := range out[1:] {
 		if v != out[n-1] {

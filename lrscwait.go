@@ -4,9 +4,10 @@
 //
 // It bundles a deterministic cycle-accurate simulator of a MemPool-class
 // manycore (cores, hierarchical NoC, SPM banks), the paper's LRwait /
-// SCwait / Mwait primitives with four hardware reservation policies
-// (single-slot LRSC, reservation table, LRSCwait queues, and the Colibri
-// distributed queue), an assembler for benchmark kernels, and the
+// SCwait / Mwait primitives with a registry of hardware reservation
+// policies (single-slot LRSC, reservation table, LRSCwait queues, and
+// the Colibri distributed queue built in — custom primitives register
+// through RegisterPolicy), an assembler for benchmark kernels, and the
 // experiment harness that regenerates every table and figure of the
 // paper's evaluation.
 //
@@ -17,15 +18,19 @@
 //	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(prog))
 //	sys.RunUntilHalted(1_000_000)
 //
-// See examples/ for runnable programs and cmd/ for the evaluation tools.
+// See examples/ for runnable programs (examples/custompolicy defines a
+// new synchronization primitive end to end) and cmd/ for the evaluation
+// tools.
 package lrscwait
 
 import (
 	"repro/internal/area"
+	"repro/internal/bus"
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -79,7 +84,9 @@ const (
 	S4   = isa.S4
 )
 
-// Reservation policies.
+// The built-in reservation policy names. Any registered name — these or
+// a custom policy's — is a valid Config.Policy value; PolicyNames lists
+// them all.
 const (
 	// PolicyPlain has no reservation support (AMO-only baselines).
 	PolicyPlain = platform.PolicyPlain
@@ -87,15 +94,125 @@ const (
 	PolicyLRSCSingle = platform.PolicyLRSCSingle
 	// PolicyLRSCTable is an ATUN-style per-core reservation table.
 	PolicyLRSCTable = platform.PolicyLRSCTable
-	// PolicyWaitQueue is the LRSCwait_q hardware queue (ideal when
-	// Config.QueueCap is zero).
+	// PolicyWaitQueue is the LRSCwait_q hardware queue (ideal unless the
+	// ParamQueueCap policy parameter caps it).
 	PolicyWaitQueue = platform.PolicyWaitQueue
 	// PolicyColibri is the paper's distributed reservation queue.
 	PolicyColibri = platform.PolicyColibri
 )
 
+// The shared policy parameter keys: the policy-grid axes every policy
+// accepts (and ignores when inapplicable) in Config.PolicyParams.
+const (
+	// ParamQueueCap is the WaitQueue slot count (0 = ideal).
+	ParamQueueCap = platform.ParamQueueCap
+	// ParamColibriQ is the Colibri head/tail pair count (0 = default 4).
+	ParamColibriQ = platform.ParamColibriQ
+)
+
+// Open Policy API: the synchronization-primitive space is a registry,
+// exactly like the scenario space. A custom primitive implements Policy
+// (name, parameter normalization, per-bank adapter construction) with an
+// Adapter holding the memory-side semantics, registers through
+// RegisterPolicy, and is from then on addressable from Config.Policy,
+// the cmd -policy flags and the sweep engine's policy grid axis — with
+// litmus-grade sequential consistency, activity accounting and energy
+// attribution inherited from the platform. See examples/custompolicy for
+// an end-to-end walkthrough (the NB-FEB primitive of Ha, Tsigas &
+// Anshus).
+type (
+	// Policy is one registrable synchronization-primitive family.
+	Policy = platform.Policy
+	// PolicyParams is the free-form parameter set a policy instance is
+	// configured from (Config.PolicyParams; it offers Int and Check
+	// helpers for Normalize implementations).
+	PolicyParams = platform.PolicyParams
+	// BankContext is what a Policy sees of the machine when
+	// instantiating one bank's adapter.
+	BankContext = platform.BankContext
+	// Adapter implements the memory-side semantics of every operation
+	// at one bank (the object a Policy's NewAdapter returns).
+	Adapter = mem.Adapter
+	// Storage is the adapter's view of its bank's word array.
+	Storage = mem.Storage
+	// AdapterStats is the shared policy-event counter set an Adapter
+	// may expose through the mem.StatsReporter AdapterStats() method to
+	// feed System.PolicyStats.
+	AdapterStats = mem.AdapterStats
+	// Request is a core-to-memory message handled by an Adapter.
+	Request = bus.Request
+	// Response is a memory-to-core message emitted by an Adapter.
+	Response = bus.Response
+	// Op enumerates the memory operations a Request can carry.
+	Op = bus.Op
+	// PolicyEnergyWeights is the optional Policy hook supplying
+	// policy-specific energy model constants (EnergyWeights() method).
+	PolicyEnergyWeights = energy.PolicyWeights
+	// PolicyAreaRows is the optional Policy hook contributing Table I
+	// area rows (AreaRows(model, nCores) method).
+	PolicyAreaRows = area.PolicyRows
+	// AreaRow is one Table I line (for PolicyAreaRows implementations).
+	AreaRow = area.Row
+)
+
+// The memory operations an Adapter must handle beyond OpLoad/OpStore and
+// the AMOs (which HandleBasic covers).
+const (
+	OpLoad      = bus.Load
+	OpStore     = bus.Store
+	OpAmoAdd    = bus.AmoAdd
+	OpAmoSwap   = bus.AmoSwap
+	OpAmoAnd    = bus.AmoAnd
+	OpAmoOr     = bus.AmoOr
+	OpAmoXor    = bus.AmoXor
+	OpAmoMin    = bus.AmoMin
+	OpAmoMax    = bus.AmoMax
+	OpAmoMinU   = bus.AmoMinU
+	OpAmoMaxU   = bus.AmoMaxU
+	OpLR        = bus.LR
+	OpSC        = bus.SC
+	OpLRWait    = bus.LRWait
+	OpSCWait    = bus.SCWait
+	OpMWait     = bus.MWait
+	OpWakeUpReq = bus.WakeUpReq
+)
+
+// RegisterPolicy adds a custom policy to the platform registry, making
+// it addressable from Config.Policy, the cmd -policy flags and the
+// sweep policy grid exactly like the built-ins. A duplicate, empty or
+// cache-key-unsafe name is rejected.
+func RegisterPolicy(p Policy) error { return platform.RegisterPolicy(p) }
+
+// PolicyNames returns every registered policy name, sorted.
+func PolicyNames() []string { return platform.PolicyNames() }
+
+// LookupPolicy returns the policy prototype registered under name.
+func LookupPolicy(name string) (Policy, bool) { return platform.LookupPolicy(name) }
+
+// ResolvePolicy resolves a policy name and parameter set into a fully
+// configured instance on topo (what NewSystem does internally).
+func ResolvePolicy(name PolicyKind, params PolicyParams, topo Topology) (Policy, error) {
+	return platform.ResolvePolicy(name, params, topo)
+}
+
+// HandleBasic implements the Load/Store/AMO semantics shared by every
+// adapter. It reports whether it handled the request and whether memory
+// was written, so custom adapters run their invalidation hooks and
+// delegate everything non-reservation to it.
+func HandleBasic(req Request, s Storage) (resp Response, wrote, handled bool) {
+	return mem.HandleBasic(req, s)
+}
+
+// AmoALU applies an atomic read-modify-write operation and returns the
+// new value to store.
+func AmoALU(op Op, old, operand uint32) uint32 { return mem.AmoALU(op, old, operand) }
+
 // MemPool256 returns the paper's 256-core, 1024-bank topology.
 func MemPool256() Topology { return noc.MemPool256() }
+
+// TeraPoolTopology returns the 1024-core, 4096-bank TeraPool scale-up
+// (Bertuletti et al.).
+func TeraPoolTopology() Topology { return noc.TeraPool1024() }
 
 // MediumTopology returns a quarter-scale MemPool (64 cores).
 func MediumTopology() Topology { return noc.Medium() }
@@ -140,9 +257,10 @@ type (
 	HistSpec = experiments.HistSpec
 	// QueueSpec is one Fig. 6 queue curve spec.
 	QueueSpec = experiments.QueueSpec
-	// PolicyConfig is the explicit per-point policy configuration
-	// (QueueCap, ColibriQueues, backoff) the runners thread down to the
-	// platform; the sweep engine's policy grids override it per point.
+	// PolicyConfig is the explicit per-point policy configuration (the
+	// registered policy Kind plus QueueCap, ColibriQueues and backoff)
+	// the runners thread down to the platform; the sweep engine's
+	// policy grids override it per point.
 	PolicyConfig = experiments.Policy
 )
 
@@ -177,8 +295,9 @@ type (
 	// SweepGridCoord labels a series with its policy-grid coordinate;
 	// its Merge method overlays the coordinate on a PolicyConfig.
 	SweepGridCoord = sweep.GridCoord
-	// SweepGrid bundles the policy-grid axes (QueueCaps × ColibriQueues
-	// × Backoffs) as parsed from the cmd/sweep -grid flag.
+	// SweepGrid bundles the policy-grid axes (Policies × QueueCaps ×
+	// ColibriQueues × Backoffs) as parsed from the cmd/sweep -grid and
+	// -policy flags.
 	SweepGrid = sweep.Grid
 	// SweepCache memoizes finished points on disk.
 	SweepCache = sweep.Cache
@@ -226,7 +345,7 @@ const (
 )
 
 // ParseSweepGrid parses the -grid flag syntax, e.g.
-// "queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64".
+// "policy=lrsc,colibri queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64".
 func ParseSweepGrid(s string) (SweepGrid, error) { return sweep.ParseGrid(s) }
 
 // Built-in scenario kinds (the paper's evaluation). Scenarios lists

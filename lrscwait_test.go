@@ -254,3 +254,135 @@ func TestFacadeEnergyModel(t *testing.T) {
 		t.Error("energy model returned nothing for busy work")
 	}
 }
+
+// facadePolicy is a custom reservation policy defined purely against
+// the public facade (a miniature of examples/custompolicy): per-word
+// mutual exclusion through a full/empty bit, no internal imports.
+type facadePolicy struct{}
+
+func (facadePolicy) Name() string { return "facade-feb" }
+
+func (p facadePolicy) Normalize(params lrscwait.PolicyParams, _ lrscwait.Topology) (lrscwait.Policy, error) {
+	if err := params.Check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (facadePolicy) NewAdapter(lrscwait.BankContext) lrscwait.Adapter {
+	return &facadeAdapter{empty: map[uint32]int{}}
+}
+
+type facadeAdapter struct {
+	empty map[uint32]int
+	stats lrscwait.AdapterStats
+}
+
+func (a *facadeAdapter) Name() string                        { return "facade-feb" }
+func (a *facadeAdapter) AdapterStats() lrscwait.AdapterStats { return a.stats }
+
+func (a *facadeAdapter) Handle(req lrscwait.Request, s lrscwait.Storage) []lrscwait.Response {
+	if resp, wrote, ok := lrscwait.HandleBasic(req, s); ok {
+		if wrote {
+			delete(a.empty, req.Addr)
+		}
+		return []lrscwait.Response{resp}
+	}
+	switch req.Op {
+	case lrscwait.OpLR, lrscwait.OpLRWait:
+		holder, held := a.empty[req.Addr]
+		granted := !held || holder == req.Src
+		if granted {
+			a.empty[req.Addr] = req.Src
+			a.stats.Grants++
+		} else {
+			a.stats.Refused++
+		}
+		return []lrscwait.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: granted}}
+	case lrscwait.OpSC, lrscwait.OpSCWait:
+		if holder, held := a.empty[req.Addr]; held && holder == req.Src {
+			s.Write(req.Addr, req.Data)
+			delete(a.empty, req.Addr)
+			a.stats.SCSuccess++
+			return []lrscwait.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true}}
+		}
+		a.stats.SCFail++
+		return []lrscwait.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	case lrscwait.OpWakeUpReq:
+		return nil
+	}
+	a.stats.Refused++
+	return []lrscwait.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+		Data: s.Read(req.Addr), OK: false}}
+}
+
+// TestFacadeCustomPolicy is the open Policy API acceptance path: a
+// policy known only to the registry builds a system through the facade,
+// keeps a fully contended LR/SC counter exact, reports its stats
+// through PolicyStats, and is rejected on re-registration.
+func TestFacadeCustomPolicy(t *testing.T) {
+	// Tolerate repeated in-process runs (-count=2): the registry is
+	// process-global with no unregister.
+	if err := lrscwait.RegisterPolicy(facadePolicy{}); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	if err := lrscwait.RegisterPolicy(facadePolicy{}); err == nil {
+		t.Error("duplicate policy registration accepted")
+	}
+	found := false
+	for _, name := range lrscwait.PolicyNames() {
+		if name == "facade-feb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("facade-feb missing from PolicyNames() = %v", lrscwait.PolicyNames())
+	}
+	if _, ok := lrscwait.LookupPolicy("facade-feb"); !ok {
+		t.Fatal("LookupPolicy cannot find the registered policy")
+	}
+	// A mistyped policy-specific parameter must fail at resolution.
+	if _, err := lrscwait.ResolvePolicy("facade-feb",
+		lrscwait.PolicyParams{"bogus": "1"}, lrscwait.SmallTopology()); err == nil {
+		t.Error("unknown parameter accepted by the custom policy")
+	}
+
+	const iters = 10
+	b := lrscwait.NewProgram()
+	b.Li(lrscwait.A0, 0)
+	b.Li(lrscwait.T0, iters)
+	b.Li(lrscwait.T4, 16)
+	b.Label("retry")
+	b.Lr(lrscwait.T2, lrscwait.A0)
+	b.Addi(lrscwait.T2, lrscwait.T2, 1)
+	b.Sc(lrscwait.T3, lrscwait.T2, lrscwait.A0)
+	b.Beqz(lrscwait.T3, "ok")
+	b.Pause(lrscwait.T4)
+	b.J("retry")
+	b.Label("ok")
+	b.Mark()
+	b.Addi(lrscwait.T0, lrscwait.T0, -1)
+	b.Bnez(lrscwait.T0, "retry")
+	b.Halt()
+	prog := b.MustBuild()
+
+	cfg := lrscwait.Config{Topo: lrscwait.SmallTopology(), Policy: "facade-feb"}
+	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(prog))
+	if !sys.RunUntilHalted(3_000_000) {
+		t.Fatal("custom-policy counter did not halt")
+	}
+	n := cfg.Topo.NumCores()
+	if got := sys.ReadWord(0); got != uint32(n*iters) {
+		t.Errorf("counter = %d, want %d (custom policy lost updates)", got, n*iters)
+	}
+	grants, _, scOK, _, _ := sys.PolicyStats()
+	if scOK != uint64(n*iters) {
+		t.Errorf("PolicyStats SC successes = %d, want %d (StatsReporter not threaded)",
+			scOK, n*iters)
+	}
+	if grants == 0 {
+		t.Error("PolicyStats reports no grants")
+	}
+}
