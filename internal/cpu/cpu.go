@@ -81,6 +81,13 @@ type Core struct {
 	waitOp     isa.Opcode
 	waitRd     isa.Reg
 
+	// Parking (activity-driven scheduling). A parked core receives no
+	// Ticks; parkedAt is the cycle of its last action, and catchUp
+	// reconciles the per-cycle wait counters a dense loop would have
+	// bumped in the skipped span, so Stats stay cycle-exact.
+	parked   bool
+	parkedAt engine.Cycle
+
 	Stats Stats
 }
 
@@ -105,6 +112,78 @@ func (c *Core) Halted() bool { return c.state == Halted }
 // Mwait grant (clock-gated, no polling traffic).
 func (c *Core) Sleeping() bool {
 	return c.state == WaitResp && (c.waitOp == isa.LRWAIT || c.waitOp == isa.MWAIT)
+}
+
+// Quiescent reports whether a Tick would only bump a wait counter: the
+// core is waiting for a memory response, counting down a PAUSE, or
+// halted. A quiescent core generates no traffic until an external event
+// (response delivery, timer expiry) and may be parked — the simulator
+// mirror of the paper's clock-gated LRwait/Mwait sleep.
+func (c *Core) Quiescent() bool {
+	return c.state == WaitResp || c.state == Stalled || c.state == Halted
+}
+
+// Park takes the core off the tick schedule as of the current cycle
+// (which must be the cycle of its last Tick, and the core must be
+// Quiescent). It returns the cycle at which a timer must wake the core —
+// the first cycle it would execute again after a PAUSE countdown — or -1
+// when the core wakes only on response delivery (WaitResp) or never
+// (Halted).
+func (c *Core) Park() engine.Cycle {
+	if !c.Quiescent() {
+		panic(fmt.Sprintf("cpu: core %d parked while runnable (state %d)", c.id, c.state))
+	}
+	c.parked = true
+	c.parkedAt = c.clock.Now()
+	if c.state == Stalled {
+		return c.parkedAt + engine.Cycle(c.stallLeft) + 1
+	}
+	return -1
+}
+
+// Parked reports whether the core is off the tick schedule.
+func (c *Core) Parked() bool { return c.parked }
+
+// Unpark reconciles the skipped wait counters and resumes ticking; the
+// scheduler calls it when the core's wake timer fires.
+func (c *Core) Unpark() {
+	c.catchUp(c.clock.Now() - 1)
+	c.parked = false
+}
+
+// SyncStats reconciles the per-cycle wait counters of a parked core up
+// to the last completed cycle, leaving it parked. Snapshot paths call it
+// so cumulative statistics are exact at any observation point; it is a
+// no-op on a core that is being ticked normally.
+func (c *Core) SyncStats() { c.catchUp(c.clock.Now() - 1) }
+
+// catchUp applies the counter increments a dense loop would have made by
+// ticking the parked core at cycles parkedAt+1..through. It is
+// idempotent in the sense that successive calls with increasing bounds
+// account each skipped cycle exactly once. A PAUSE countdown completes
+// here exactly as it would have under dense ticking.
+func (c *Core) catchUp(through engine.Cycle) {
+	if !c.parked || through <= c.parkedAt {
+		return
+	}
+	delta := uint64(through - c.parkedAt)
+	switch c.state {
+	case Halted:
+		c.Stats.HaltedCycles += delta
+	case Stalled:
+		c.Stats.PauseCycles += delta
+		c.stallLeft -= int64(delta)
+		if c.stallLeft <= 0 {
+			c.state = Ready
+		}
+	case WaitResp:
+		if c.waitOp == isa.LRWAIT || c.waitOp == isa.MWAIT {
+			c.Stats.SleepCycles += delta
+		} else {
+			c.Stats.MemWaitCycles += delta
+		}
+	}
+	c.parkedAt = through
 }
 
 // Reg returns register r (x0 reads as zero).
@@ -327,8 +406,15 @@ func (c *Core) issue(req bus.Request, ins isa.Instr) {
 	c.Stats.IssueStallCycles++
 }
 
-// Deliver completes the outstanding memory transaction.
+// Deliver completes the outstanding memory transaction. A parked core is
+// unparked: the delivery cycle itself still counts as a wait cycle (the
+// dense loop ticks the waiting core before responses are delivered), and
+// the core executes again next cycle.
 func (c *Core) Deliver(resp bus.Response) {
+	if c.parked {
+		c.catchUp(c.clock.Now())
+		c.parked = false
+	}
 	if c.state != WaitResp && c.state != WaitIssue {
 		panic(fmt.Sprintf("cpu: core %d: response in state %d", c.id, c.state))
 	}

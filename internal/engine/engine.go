@@ -18,5 +18,15 @@ func (c *Clock) Now() Cycle { return c.now }
 // Advance moves the clock forward by one cycle.
 func (c *Clock) Advance() { c.now++ }
 
+// AdvanceTo jumps the clock forward to cycle t (a no-op when t is not in
+// the future). The activity-driven scheduler uses it to fast-forward
+// across globally idle spans — cycles in which every component is parked
+// and only wait counters would advance.
+func (c *Clock) AdvanceTo(t Cycle) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
 // Reset rewinds the clock to cycle 0.
 func (c *Clock) Reset() { c.now = 0 }

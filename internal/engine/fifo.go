@@ -12,6 +12,11 @@ type FIFO[T any] struct {
 	head  int
 	count int
 	clock *Clock
+
+	// Scheduling hooks (see OnPush / OnPop). Nil when the FIFO is not
+	// wired into an activity-driven scheduler.
+	onPush func()
+	onPop  func()
 }
 
 type entry[T any] struct {
@@ -26,6 +31,20 @@ func NewFIFO[T any](capacity int, clock *Clock) *FIFO[T] {
 	}
 	return &FIFO[T]{buf: make([]entry[T], capacity), clock: clock}
 }
+
+// OnPush registers fn to run after every successful Push. The
+// activity-driven scheduler wires it to mark the FIFO's consumer
+// runnable, so a component sleeps with no polling until traffic actually
+// reaches it — the simulator-side mirror of the paper's wake-up messages.
+func (f *FIFO[T]) OnPush(fn func()) { f.onPush = fn }
+
+// OnPop registers fn to run after every successful Pop — the symmetric
+// hook, for producers that would rather be woken when space frees in a
+// full downstream stage than poll it. The current kernel does not wire
+// it: every backpressured producer (a core in WaitIssue, a Qnode with an
+// undrained wake-up, a blocked router or bank) holds other queued work
+// and therefore stays runnable anyway, retrying like the hardware does.
+func (f *FIFO[T]) OnPop(fn func()) { f.onPop = fn }
 
 // Cap returns the FIFO capacity.
 func (f *FIFO[T]) Cap() int { return len(f.buf) }
@@ -45,6 +64,9 @@ func (f *FIFO[T]) Push(v T) bool {
 	idx := (f.head + f.count) % len(f.buf)
 	f.buf[idx] = entry[T]{val: v, at: f.clock.Now()}
 	f.count++
+	if f.onPush != nil {
+		f.onPush()
+	}
 	return true
 }
 
@@ -74,6 +96,9 @@ func (f *FIFO[T]) Pop() (T, bool) {
 	f.buf[f.head] = entry[T]{} // release references
 	f.head = (f.head + 1) % len(f.buf)
 	f.count--
+	if f.onPop != nil {
+		f.onPop()
+	}
 	return v, true
 }
 

@@ -218,5 +218,11 @@ func (b *Bank) Tick() {
 	}
 }
 
-// Idle reports whether the bank has no queued input or pending output.
+// Idle reports whether the bank has no queued input or pending output —
+// its quiescence predicate: an idle bank's Tick is a no-op, so the
+// activity-driven kernel parks it until a request is pushed into In (the
+// wake condition it registers via the FIFO's push hook). Waiters parked
+// in an adapter's reservation queue do not keep the bank awake: they
+// consume no bank cycles until a new request arrives, which is the
+// paper's polling-free property applied to the simulator itself.
 func (b *Bank) Idle() bool { return b.In.Len() == 0 && len(b.pending) == 0 }

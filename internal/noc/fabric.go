@@ -45,6 +45,16 @@ type Fabric struct {
 
 	allReqFIFOs  []*engine.FIFO[bus.Request]
 	allRespFIFOs []*engine.FIFO[bus.Response]
+
+	// Dirty lists for activity-driven ticking: a router joins its set
+	// when a message is pushed into one of its input stages (FIFO push
+	// hooks wired at construction) and leaves once it ticks with every
+	// input empty. TickActive walks only these routers; an idle fabric
+	// costs nothing per cycle.
+	reqActive   engine.ActiveSet
+	respActive  engine.ActiveSet
+	reqScratch  []int
+	respScratch []int
 }
 
 // NewFabric builds the fabric. depth is the capacity of every FIFO stage;
@@ -224,10 +234,32 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 		f.respRouters = append(f.respRouters, NewRouter("group-resp", in, out, route))
 	}
 
+	// Wire the wake conditions: pushing into any input stage of a router
+	// marks that router dirty. Terminal FIFOs (BankReq, CoreResp) are no
+	// router's input; their consumers (banks, the platform's delivery
+	// loop) hang their own hooks off them.
+	f.reqActive = engine.MakeActiveSet(len(f.reqRouters))
+	for i, r := range f.reqRouters {
+		i := i
+		wake := func() { f.reqActive.Add(i) }
+		for _, q := range r.in {
+			q.OnPush(wake)
+		}
+	}
+	f.respActive = engine.MakeActiveSet(len(f.respRouters))
+	for i, r := range f.respRouters {
+		i := i
+		wake := func() { f.respActive.Add(i) }
+		for _, q := range r.in {
+			q.OnPush(wake)
+		}
+	}
+
 	return f
 }
 
-// Tick advances every router by one cycle.
+// Tick advances every router by one cycle — the dense reference loop,
+// retained for differential testing against TickActive.
 func (f *Fabric) Tick() {
 	for _, r := range f.reqRouters {
 		r.Tick()
@@ -235,6 +267,40 @@ func (f *Fabric) Tick() {
 	for _, r := range f.respRouters {
 		r.Tick()
 	}
+}
+
+// TickActive advances only the routers with occupied input stages, in
+// the same order the dense Tick would have reached them (request routers
+// before response routers, ascending index). Idle routers' Ticks are
+// no-ops, so the two loops are behaviorally identical; this one's cost
+// is proportional to live traffic instead of fabric size. A router woken
+// mid-pass by an upstream push stays dirty for the next cycle, exactly
+// like the dense loop where its new entry is not yet visible.
+func (f *Fabric) TickActive() {
+	f.reqScratch = f.reqActive.AppendTo(f.reqScratch[:0])
+	for _, i := range f.reqScratch {
+		r := f.reqRouters[i]
+		r.Tick()
+		if !r.Busy() {
+			f.reqActive.Remove(i)
+		}
+	}
+	f.respScratch = f.respActive.AppendTo(f.respScratch[:0])
+	for _, i := range f.respScratch {
+		r := f.respRouters[i]
+		r.Tick()
+		if !r.Busy() {
+			f.respActive.Remove(i)
+		}
+	}
+}
+
+// Busy reports whether any router is on a dirty list — conservatively,
+// whether any message may still be moving inside the fabric. Terminal
+// delivery ports (BankReq, CoreResp) are owned by their consumers and
+// not counted here.
+func (f *Fabric) Busy() bool {
+	return !f.reqActive.Empty() || !f.respActive.Empty()
 }
 
 // Flits returns the cumulative number of hop traversals in both networks,

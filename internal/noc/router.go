@@ -88,6 +88,20 @@ func (r *Router[T]) Tick() int {
 	return moved
 }
 
+// Busy reports whether any input stage is occupied — the router's
+// quiescence predicate. An idle router's Tick is a no-op, so the fabric's
+// dirty-list scheduling skips it entirely; a router stays busy while a
+// queued message is not yet visible (pushed this cycle) or is blocked by
+// downstream backpressure.
+func (r *Router[T]) Busy() bool {
+	for _, f := range r.in {
+		if f.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Occupancy returns the total number of messages queued at the inputs.
 func (r *Router[T]) Occupancy() int {
 	total := 0

@@ -57,6 +57,13 @@ type fifoSink struct{ f *engine.FIFO[bus.Request] }
 func (s fifoSink) TryPush(r bus.Request) bool { return s.f.Push(r) }
 
 // System is a fully wired simulation instance.
+//
+// The cycle loop is activity-driven: Tick walks only the components that
+// can make progress this cycle (see the scheduler fields below), and Run
+// / RunUntilHalted fast-forward the clock across globally idle spans.
+// Sleeping cores therefore cost nothing per cycle — the simulator-side
+// mirror of the paper's polling-free LRwait/Mwait design. TickDense is
+// the retained dense reference loop for differential testing.
 type System struct {
 	Cfg   Config
 	Clock engine.Clock
@@ -67,6 +74,22 @@ type System struct {
 	Banks  []*mem.Bank
 	Cores  []*cpu.Core
 	Qnodes []*colibri.Qnode
+
+	// slots schedules the per-core front end (Qnode i + Core i as one
+	// slot, ticked in that order like the dense loop); its wake heap
+	// carries PAUSE countdown expiries. banks and deliv track banks with
+	// queued work and cores with undelivered responses; the fabric keeps
+	// its own router dirty lists. Scratch slices make steady-state
+	// iteration allocation-free.
+	slots       *engine.Scheduler
+	banks       engine.ActiveSet
+	deliv       engine.ActiveSet
+	slotScratch []int
+	bankScratch []int
+	delScratch  []int
+	// nHalted counts cores that have executed HALT, so RunUntilHalted's
+	// completion check is O(1) instead of an every-cycle core walk.
+	nHalted int
 }
 
 // New builds a system with every core running progFor(core). The
@@ -108,11 +131,109 @@ func New(cfg Config, progFor ProgramFor) *System {
 		prog := progFor(c)
 		s.Cores[c] = cpu.New(c, nCores, &s.Clock, s.Qnodes[c], prog)
 	}
+
+	// Wire the activity-driven scheduler: every core starts runnable;
+	// banks wake when a request reaches their delivery FIFO; the
+	// response-delivery loop wakes when a response reaches a core's
+	// delivery FIFO. (The fabric wired its own router dirty lists in
+	// NewFabric.)
+	s.slots = engine.NewScheduler(nCores)
+	for c := 0; c < nCores; c++ {
+		s.slots.Wake(c)
+	}
+	s.banks = engine.MakeActiveSet(nBanks)
+	for b := 0; b < nBanks; b++ {
+		b := b
+		s.Fabric.BankReq[b].OnPush(func() { s.banks.Add(b) })
+	}
+	s.deliv = engine.MakeActiveSet(nCores)
+	for c := 0; c < nCores; c++ {
+		c := c
+		s.Fabric.CoreResp[c].OnPush(func() { s.deliv.Add(c) })
+	}
 	return s
 }
 
-// Tick advances the whole system by one cycle.
+// Tick advances the whole system by one cycle, visiting only components
+// that can make progress: runnable core slots, dirty routers, banks with
+// queued work, cores with undelivered responses. Quiescent components
+// are parked with registered wake conditions (FIFO push hooks, response
+// delivery, the PAUSE timer heap), and their per-cycle wait counters are
+// reconciled lazily, so the observable state evolution — including every
+// Snapshot counter — is cycle-exact against TickDense.
 func (s *System) Tick() {
+	now := s.Clock.Now()
+	// Expired PAUSE countdowns rejoin the schedule first, so the core
+	// executes this cycle exactly as under dense ticking.
+	s.slots.WakeDue(now, func(id int) { s.Cores[id].Unpark() })
+
+	// Phase 1: core slots (Qnode i then Core i, ascending i).
+	s.slotScratch = s.slots.AppendRunnable(s.slotScratch[:0])
+	for _, i := range s.slotScratch {
+		q, c := s.Qnodes[i], s.Cores[i]
+		q.Tick()
+		if !c.Parked() {
+			c.Tick()
+			if c.Quiescent() {
+				s.parkCore(i)
+			}
+		}
+		if c.Parked() && !q.Busy() {
+			s.slots.Sleep(i)
+		}
+	}
+
+	// Phase 2: fabric routers with occupied inputs.
+	s.Fabric.TickActive()
+
+	// Phase 3: banks with queued requests or pending responses.
+	s.bankScratch = s.banks.AppendTo(s.bankScratch[:0])
+	for _, b := range s.bankScratch {
+		bank := s.Banks[b]
+		bank.Tick()
+		if bank.Idle() {
+			s.banks.Remove(b)
+		}
+	}
+
+	// Phase 4: response delivery for cores with queued responses.
+	s.delScratch = s.deliv.AppendTo(s.delScratch[:0])
+	for _, i := range s.delScratch {
+		if resp, ok := s.Fabric.CoreResp[i].Pop(); ok {
+			if out := s.Qnodes[i].Deliver(resp); out != nil {
+				s.Cores[i].Deliver(*out) // unparks; executes next cycle
+				s.slots.Wake(i)
+			}
+			if s.Qnodes[i].Busy() {
+				s.slots.Wake(i) // protocol traffic to drain (wake-up bounce)
+			}
+		}
+		if s.Fabric.CoreResp[i].Len() == 0 {
+			s.deliv.Remove(i)
+		}
+	}
+	s.Clock.Advance()
+}
+
+// parkCore takes a quiescent core off the schedule, registering its
+// timer wake-up when it is counting down a PAUSE.
+func (s *System) parkCore(i int) {
+	c := s.Cores[i]
+	if c.State() == cpu.Halted {
+		s.nHalted++
+	}
+	if wakeAt := c.Park(); wakeAt >= 0 {
+		s.slots.WakeAt(i, wakeAt)
+	}
+}
+
+// TickDense advances the whole system by one cycle the original way:
+// every Qnode, core, router and bank is ticked unconditionally. It is
+// the dense reference loop retained for differential testing of the
+// activity-driven Tick (and for measuring its speedup); drive any one
+// System exclusively through either Tick or TickDense, not a mix, since
+// the dense loop does not maintain the scheduler's parking state.
+func (s *System) TickDense() {
 	for i, c := range s.Cores {
 		s.Qnodes[i].Tick()
 		c.Tick()
@@ -131,23 +252,63 @@ func (s *System) Tick() {
 	s.Clock.Advance()
 }
 
-// Run advances n cycles.
+// busy reports whether any component can make progress this cycle
+// without a timer firing first. When false, every message has drained
+// and every core is parked: the only future events are PAUSE expiries.
+func (s *System) busy() bool {
+	return s.slots.AnyRunnable() || !s.banks.Empty() || !s.deliv.Empty() ||
+		s.Fabric.Busy()
+}
+
+// Run advances n cycles, fast-forwarding the clock across globally idle
+// spans (all cores asleep in backoff, nothing in flight) — skipped wait
+// cycles are reconciled into the cores' counters, so snapshots are
+// identical to having simulated every cycle.
 func (s *System) Run(n int) {
-	for i := 0; i < n; i++ {
+	target := s.Clock.Now() + engine.Cycle(n)
+	for s.Clock.Now() < target {
+		if !s.busy() {
+			w, ok := s.slots.NextWake()
+			if !ok || w >= target {
+				// Fully idle to the horizon: skip straight to it.
+				s.Clock.AdvanceTo(target)
+				return
+			}
+			s.Clock.AdvanceTo(w)
+		}
 		s.Tick()
 	}
 }
 
+// RunDense advances n cycles through the dense reference loop.
+func (s *System) RunDense(n int) {
+	for i := 0; i < n; i++ {
+		s.TickDense()
+	}
+}
+
 // RunUntilHalted runs until every core halted or maxCycles elapse; it
-// reports whether all cores halted.
+// reports whether all cores halted. Like Run it fast-forwards idle
+// spans; a deadlocked system (nothing runnable, no timers, cores still
+// waiting) skips straight to the cycle budget rather than simulating
+// empty cycles.
 func (s *System) RunUntilHalted(maxCycles int) bool {
-	for i := 0; i < maxCycles; i++ {
-		if s.AllHalted() {
+	target := s.Clock.Now() + engine.Cycle(maxCycles)
+	for s.Clock.Now() < target {
+		if s.nHalted == len(s.Cores) {
 			return true
+		}
+		if !s.busy() {
+			w, ok := s.slots.NextWake()
+			if !ok || w >= target {
+				break
+			}
+			s.Clock.AdvanceTo(w)
 		}
 		s.Tick()
 	}
-	return s.AllHalted()
+	s.Clock.AdvanceTo(target)
+	return s.nHalted == len(s.Cores)
 }
 
 // AllHalted reports whether every core has executed HALT.
@@ -160,7 +321,10 @@ func (s *System) AllHalted() bool {
 	return true
 }
 
-// Quiescent reports whether no message is in flight anywhere.
+// Quiescent reports whether no message is in flight anywhere — fabric,
+// banks, and the Qnodes' protocol state: a Qnode holding an open episode
+// (an undrained wake-up, a pending grant, a linked successor) represents
+// buffered traffic even when every FIFO is empty.
 func (s *System) Quiescent() bool {
 	if s.Fabric.InFlight() != 0 {
 		return false
@@ -170,7 +334,22 @@ func (s *System) Quiescent() bool {
 			return false
 		}
 	}
+	for _, n := range s.Qnodes {
+		if !n.Idle() {
+			return false
+		}
+	}
 	return true
+}
+
+// SyncStats reconciles the lazily-accounted wait counters of every
+// parked core up to the last completed cycle. Snapshot calls it; callers
+// reading core Stats fields directly (e.g. the trace sampler) must call
+// it first to observe cycle-exact counters.
+func (s *System) SyncStats() {
+	for _, c := range s.Cores {
+		c.SyncStats()
+	}
 }
 
 // bankFor returns the bank holding addr.

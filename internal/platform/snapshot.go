@@ -36,8 +36,11 @@ type Activity struct {
 	WakeUps     uint64
 }
 
-// Snapshot captures the current cumulative activity.
+// Snapshot captures the current cumulative activity. Parked cores'
+// lazily-accounted wait counters are reconciled first, so the snapshot
+// is cycle-exact no matter how much of the run was fast-forwarded.
 func (s *System) Snapshot() Activity {
+	s.SyncStats()
 	a := Activity{
 		Cycle:      s.Clock.Now(),
 		OpsPerCore: make([]uint64, len(s.Cores)),

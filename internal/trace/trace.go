@@ -24,8 +24,11 @@ type Sample struct {
 	Ops uint64
 }
 
-// Capture takes one sample of sys.
+// Capture takes one sample of sys. Parked cores are stat-synced first so
+// the census and counters are cycle-exact under the activity-driven
+// kernel.
 func Capture(sys *platform.System) Sample {
+	sys.SyncStats()
 	s := Sample{Cycle: sys.Clock.Now(), InFlight: sys.Fabric.InFlight()}
 	for _, c := range sys.Cores {
 		switch {
