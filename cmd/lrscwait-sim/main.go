@@ -17,12 +17,20 @@
 //	             [-variant amoadd|lrsc|lrscwait|lrsc-lock|lrscwait-lock|amoadd-lock|mwait-mcs-lock]
 //	             [-bins N] [-queues N] [-qcap N] [-pparam 'k=v ...'] [-backoff N]
 //	             [-warmup N] [-measure N] [-disasm]
+//	             [-obs] [-manifest FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// Observability: -obs dumps the run's kernel metrics (scheduler
+// ticked/skipped counts, fast-forward savings, per-policy adapter
+// counters) to stderr; -manifest writes them with the host environment
+// as JSON; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -30,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -66,6 +75,10 @@ func main() {
 	measure := flag.Int("measure", 10000, "measured cycles")
 	disasm := flag.Bool("disasm", false, "print the kernel disassembly of core 0 and exit")
 	showTrace := flag.Bool("trace", false, "render activity sparklines over the measured window")
+	obsDump := flag.Bool("obs", false, "dump the run's kernel metrics to stderr")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest (environment + kernel metrics) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *listPolicies {
@@ -146,6 +159,16 @@ func main() {
 	if initFn != nil {
 		initFn(sys)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+	}
+	obsBefore := obs.Default().Snapshot()
 	var tr *trace.Series
 	var act platform.Activity
 	if *showTrace {
@@ -155,6 +178,30 @@ func main() {
 		act = platform.Delta(before, sys.Snapshot())
 	} else {
 		act = sys.Measure(*warmup, *measure)
+	}
+	sys.PublishObs(obs.Default())
+	metrics := obs.Diff(obsBefore, obs.Default().Snapshot())
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+	}
+	if *obsDump {
+		fmt.Fprint(os.Stderr, metrics.String())
+	}
+	if *manifestPath != "" {
+		if err := sweep.NewSimManifest(metrics).WriteFile(*manifestPath); err != nil {
+			fail("%v", err)
+		}
 	}
 	// Policies carrying their own calibrated constants (the
 	// energy.PolicyWeights hook) are reported with those.

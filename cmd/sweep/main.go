@@ -34,6 +34,17 @@
 //	      [-warmup N] [-measure N] [-matn N] [-ms]
 //	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
 //	      [-csv] [-quiet]
+//	      [-manifest FILE] [-trace FILE] [-obs] [-cache-stats]
+//	      [-cpuprofile FILE] [-memprofile FILE]
+//
+// Observability: -manifest writes a JSON run manifest (job spec hashes,
+// environment, per-point timings, full metric snapshot) next to the
+// results; -trace writes a Chrome trace-event timeline (open in
+// chrome://tracing) with one lane per worker; -obs dumps the run's
+// metric deltas to stderr; -cache-stats reports the point cache's disk
+// footprint and this process's hit/miss traffic (standalone — with no
+// selection — or after a run); -cpuprofile/-memprofile write pprof
+// profiles of the sweep.
 //
 // Examples:
 //
@@ -44,6 +55,8 @@
 //	sweep -fig 3,4,5,6 -table 1,2 -topo medium -json out/
 //	sweep -kind fig3 -grid 'queuecap=0,1,2,4'   # wait-queue sizing study
 //	sweep -kind fig6 -policy lrsc,lrsc-table    # queue scaling per policy
+//	sweep -cache-stats               # inspect the default point cache
+//	sweep -fig 3 -topo small -manifest run.json -trace trace.json
 package main
 
 import (
@@ -51,6 +64,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/platform"
@@ -103,6 +118,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV to stdout instead of an aligned table (single selection only)")
 	csvDir := flag.String("csvdir", "", "also write one <kind>.csv per result into this directory")
 	quiet := flag.Bool("quiet", false, "suppress progress and run statistics on stderr")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest (jobs, environment, timings, metrics) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file (open in chrome://tracing)")
+	obsDump := flag.Bool("obs", false, "dump the run's metric deltas to stderr")
+	cacheStats := flag.Bool("cache-stats", false, "report point-cache statistics (standalone with no selection, or after the run)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *listKinds {
@@ -142,6 +163,22 @@ func main() {
 		figSel, tableSel = []string{"3", "4", "5", "6"}, []string{"1", "2"}
 	}
 	if len(figSel) == 0 && len(tableSel) == 0 && len(kindSel) == 0 {
+		if *cacheStats {
+			// Standalone cache inspection: no sweep, just the report.
+			cache, err := sweep.OpenCacheFlag(*cacheFlag, true)
+			if err != nil {
+				fail("%v", err)
+			}
+			if cache == nil {
+				fail("-cache-stats with caching disabled (-cache off)")
+			}
+			st, err := cache.Stats()
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Println(st.Summary())
+			return
+		}
 		fail("nothing selected; use -fig, -table, -kind or -all (see -help)")
 	}
 
@@ -251,17 +288,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: cache disabled: %v\n", err)
 		cache = nil
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+	}
 	runner := sweep.Runner{Workers: *workers, Cache: cache}
 	var flush func()
 	if !*quiet {
 		runner.Progress, flush = sweep.ProgressPrinter(os.Stderr)
 	}
 	results, st, err := runner.RunAll(jobs)
-	if flush != nil {
+	if flush != nil && err == nil {
+		// RunAll fails only during job normalization/expansion, before
+		// any progress event fires — no partial status line to
+		// terminate, and a "0/0 points" line would just precede the
+		// error confusingly.
 		flush()
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
 	}
 	if err != nil {
 		fail("%v", err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
 	}
 
 	for i, res := range results {
@@ -288,6 +352,34 @@ func main() {
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fail("%v", err)
 			}
+		}
+	}
+	if *manifestPath != "" {
+		cacheDir := ""
+		if cache != nil {
+			cacheDir = cache.Dir()
+		}
+		if err := sweep.NewManifest(results, st, cacheDir).WriteFile(*manifestPath); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *tracePath != "" {
+		if err := sweep.WriteTrace(*tracePath, st); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *obsDump {
+		fmt.Fprint(os.Stderr, st.Metrics.String())
+	}
+	if *cacheStats {
+		if cache == nil {
+			fmt.Fprintln(os.Stderr, "sweep: no cache in use, no cache statistics")
+		} else {
+			cs, err := cache.Stats()
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintln(os.Stderr, cs.Summary())
 		}
 	}
 	if !*quiet {

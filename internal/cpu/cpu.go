@@ -62,6 +62,10 @@ type Stats struct {
 	// WaitRefusals counts LRwait/Mwait responses with OK=false (no free
 	// reservation slot at the controller).
 	WaitRefusals uint64
+	// Deliveries counts memory responses delivered to this core. Both
+	// cycle loops call Deliver identically, so the counter is safe to
+	// expose through Activity without perturbing kernel parity.
+	Deliveries uint64
 }
 
 // Core is one hart.
@@ -418,6 +422,7 @@ func (c *Core) Deliver(resp bus.Response) {
 	if c.state != WaitResp && c.state != WaitIssue {
 		panic(fmt.Sprintf("cpu: core %d: response in state %d", c.id, c.state))
 	}
+	c.Stats.Deliveries++
 	switch c.waitOp {
 	case isa.SW:
 		// Store ack carries no data.

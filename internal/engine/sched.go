@@ -79,6 +79,13 @@ type wakeEntry struct {
 type Scheduler struct {
 	set  ActiveSet
 	heap []wakeEntry
+
+	// HeapPushes and HeapPops count wake-heap operations — the price of
+	// timed sleep, as opposed to the event wakes that are plain bitset
+	// updates. Plain (non-atomic) fields: the kernel publishes them to
+	// the obs registry on the cold path.
+	HeapPushes uint64
+	HeapPops   uint64
 }
 
 // NewScheduler returns a scheduler for component IDs in [0, n).
@@ -110,6 +117,7 @@ func (s *Scheduler) AppendRunnable(dst []int) []int { return s.set.AppendTo(dst)
 func (s *Scheduler) WakeAt(id int, at Cycle) {
 	s.heap = append(s.heap, wakeEntry{at: at, id: id})
 	s.siftUp(len(s.heap) - 1)
+	s.HeapPushes++
 }
 
 // NextWake returns the earliest pending timed wake-up.
@@ -152,6 +160,7 @@ func (s *Scheduler) siftUp(i int) {
 }
 
 func (s *Scheduler) pop() {
+	s.HeapPops++
 	last := len(s.heap) - 1
 	s.heap[0] = s.heap[last]
 	s.heap = s.heap[:last]

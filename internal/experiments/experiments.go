@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -212,6 +213,7 @@ func RunHistogramPoint(spec HistSpec, topo noc.Topology, bins, warmup, measure i
 func RunHistogramPointPolicy(spec HistSpec, pol Policy, topo noc.Topology, bins, warmup, measure int) HistPoint {
 	sys, _ := buildHistogram(spec, pol, topo, bins, 0)
 	act := sys.Measure(warmup, measure)
+	sys.PublishObs(obs.Default())
 	return HistPoint{Bins: bins, Throughput: act.Throughput(), Activity: act}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -116,9 +117,11 @@ func RunInterferencePointPolicy(spec HistSpec, pol Policy, topo noc.Topology,
 	}
 	base, workers := interferenceSystem(spec, pol, topo, ratio, bins, matN, false)
 	baseline := workerThroughput(base.Measure(warmup, measure), workers)
+	base.PublishObs(obs.Default())
 
 	loadedSys, workers := interferenceSystem(spec, pol, topo, ratio, bins, matN, true)
 	loadedTP := workerThroughput(loadedSys.Measure(warmup, measure), workers)
+	loadedSys.PublishObs(obs.Default())
 
 	rel := 0.0
 	if baseline > 0 {

@@ -4,6 +4,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -106,6 +107,7 @@ func RunQueuePointPolicy(spec QueueSpec, pol Policy, topo noc.Topology, nActive,
 	})
 	initQueue(sys)
 	act := sys.Measure(warmup, measure)
+	sys.PublishObs(obs.Default())
 
 	p := QueuePoint{Cores: nActive, Throughput: act.Throughput()}
 	min, max := act.OpsPerCore[0], act.OpsPerCore[0]

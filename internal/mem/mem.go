@@ -111,6 +111,10 @@ type Stats struct {
 	// StallCycles counts cycles the bank could not accept a request
 	// because its response port was backed up.
 	StallCycles uint64
+	// Responses counts responses produced by the adapter (a single
+	// request may produce several: a store that fires a monitor, a
+	// release that grants the next waiter).
+	Responses uint64
 }
 
 // Bank is one SPM bank.
@@ -210,6 +214,7 @@ func (b *Bank) Tick() {
 	b.In.Pop()
 	b.Stats.Accesses++
 	resps := b.adapter.Handle(req, b)
+	b.Stats.Responses += uint64(len(resps))
 	for _, r := range resps {
 		if len(b.pending) == 0 && b.Out.Push(r) {
 			continue

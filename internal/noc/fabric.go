@@ -276,7 +276,10 @@ func (f *Fabric) Tick() {
 // is proportional to live traffic instead of fabric size. A router woken
 // mid-pass by an upstream push stays dirty for the next cycle, exactly
 // like the dense loop where its new entry is not yet visible.
-func (f *Fabric) TickActive() {
+//
+// It returns the number of routers ticked, feeding the kernel's
+// ticked-vs-skipped accounting (skipped = NumRouters() - ticked).
+func (f *Fabric) TickActive() int {
 	f.reqScratch = f.reqActive.AppendTo(f.reqScratch[:0])
 	for _, i := range f.reqScratch {
 		r := f.reqRouters[i]
@@ -293,6 +296,12 @@ func (f *Fabric) TickActive() {
 			f.respActive.Remove(i)
 		}
 	}
+	return len(f.reqScratch) + len(f.respScratch)
+}
+
+// NumRouters returns the total router count in both networks.
+func (f *Fabric) NumRouters() int {
+	return len(f.reqRouters) + len(f.respRouters)
 }
 
 // Busy reports whether any router is on a dirty list — conservatively,

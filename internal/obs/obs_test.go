@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines that
+// race get-or-create with updates and snapshots. Run under -race it
+// checks the lock discipline; the final totals check that no increment
+// was lost and that pointers returned for one name were stable.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Shared name: all goroutines contend on creation and update.
+				r.Counter("shared.hits").Inc()
+				// Per-goroutine name: exercises the create path repeatedly.
+				r.Counter(fmt.Sprintf("worker.%d.ops", g)).Add(2)
+				r.Gauge("level").Set(int64(i))
+				r.Timer("span").Observe(time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race benignly with updates
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared.hits").Value(); got != goroutines*perG {
+		t.Errorf("shared.hits = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		name := fmt.Sprintf("worker.%d.ops", g)
+		if got := r.Counter(name).Value(); got != 2*perG {
+			t.Errorf("%s = %d, want %d", name, got, 2*perG)
+		}
+	}
+	if got := r.Timer("span").Count(); got != goroutines*perG {
+		t.Errorf("span count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Timer("span").Total(); got != goroutines*perG*time.Microsecond {
+		t.Errorf("span total = %v, want %v", got, goroutines*perG*time.Microsecond)
+	}
+}
+
+func TestCounterPointerStable(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b")
+	c2 := r.Counter("a.b")
+	if c1 != c2 {
+		t.Fatal("Counter returned distinct pointers for one name")
+	}
+	if r.Gauge("a.b") != r.Gauge("a.b") {
+		t.Fatal("Gauge returned distinct pointers for one name")
+	}
+	if r.Timer("a.b") != r.Timer("a.b") {
+		t.Fatal("Timer returned distinct pointers for one name")
+	}
+}
+
+func TestBadNamePanics(t *testing.T) {
+	for _, name := range []string{"", "has space", "has\ttab", "has\nnewline"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Counter(%q) did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name)
+		}()
+	}
+}
+
+// TestSnapshotDeterministic checks the core snapshot guarantees: zero
+// values are elided (an untouched registry snapshots empty), and the
+// JSON and String renderings of equal state are byte-identical across
+// repeated snapshots and across separately-built registries.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(uint64(len(name)))
+		}
+		r.Gauge("g.level").Set(-3)
+		r.Timer("t.span").Observe(5 * time.Millisecond)
+		r.Counter("zero.counter") // created but never incremented: elided
+		r.Gauge("zero.gauge")
+		r.Timer("zero.timer")
+		return r
+	}
+	names := []string{"b.two", "a.one", "c.three"}
+	rev := []string{"c.three", "a.one", "b.two"}
+
+	r1, r2 := build(names), build(rev)
+	j1, err := r1.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSON differs across creation orders:\n%s\nvs\n%s", j1, j2)
+	}
+	if s1, s2 := r1.Snapshot().String(), r2.Snapshot().String(); s1 != s2 {
+		t.Errorf("String differs across creation orders:\n%s\nvs\n%s", s1, s2)
+	}
+	if !bytes.Equal(j1, mustJSON(t, r1.Snapshot())) {
+		t.Error("repeated snapshots of unchanged registry differ")
+	}
+
+	for _, zero := range []string{"zero.counter", "zero.gauge", "zero.timer"} {
+		if strings.Contains(string(j1), zero) {
+			t.Errorf("zero-valued metric %s not elided from snapshot", zero)
+		}
+	}
+	if s := NewRegistry().Snapshot(); s.Counters != nil || s.Gauges != nil || s.Timers != nil {
+		t.Errorf("empty registry snapshot not empty: %+v", s)
+	}
+
+	// The JSON round-trips.
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counter("a.one") != uint64(len("a.one")) {
+		t.Errorf("round-tripped counter a.one = %d", back.Counter("a.one"))
+	}
+}
+
+func mustJSON(t *testing.T, s Snapshot) []byte {
+	t.Helper()
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDiff pins the diff semantics: counters and timers subtract with
+// zero deltas elided; gauges (levels, not rates) carry the b-side value.
+func TestDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.moves").Add(10)
+	r.Counter("c.stays").Add(7)
+	r.Gauge("g.level").Set(1)
+	r.Timer("t.span").Observe(time.Millisecond)
+	before := r.Snapshot()
+
+	r.Counter("c.moves").Add(5)
+	r.Counter("c.new").Add(3)
+	r.Gauge("g.level").Set(42)
+	r.Timer("t.span").Observe(2 * time.Millisecond)
+	after := r.Snapshot()
+
+	d := Diff(before, after)
+	if got := d.Counter("c.moves"); got != 5 {
+		t.Errorf("c.moves delta = %d, want 5", got)
+	}
+	if got := d.Counter("c.new"); got != 3 {
+		t.Errorf("c.new delta = %d, want 3", got)
+	}
+	if _, ok := d.Counters["c.stays"]; ok {
+		t.Error("unchanged counter c.stays not elided from diff")
+	}
+	if got := d.Gauges["g.level"]; got != 42 {
+		t.Errorf("g.level = %d, want b-side 42", got)
+	}
+	tv, ok := d.Timers["t.span"]
+	if !ok || tv.Count != 1 || tv.TotalNs != int64(2*time.Millisecond) {
+		t.Errorf("t.span delta = %+v, want count=1 totalNs=%d", tv, int64(2*time.Millisecond))
+	}
+
+	// Identical snapshots diff to empty (gauges excepted by design —
+	// an unchanged non-zero gauge still reports its level).
+	d2 := Diff(after, after)
+	if len(d2.Counters) != 0 || len(d2.Timers) != 0 {
+		t.Errorf("self-diff has counter/timer residue: %+v", d2)
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned distinct registries")
+	}
+	c := Default().Counter("obs.test.selfcheck")
+	c.Inc()
+	if Default().Counter("obs.test.selfcheck").Value() == 0 {
+		t.Fatal("default registry did not retain counter")
+	}
+}

@@ -1,0 +1,161 @@
+package platform_test
+
+// Tests of the kernel's observability wiring: the KernelStats the
+// scheduler accumulates, the derived-skipped accounting invariants, and
+// PublishObs's delta-exact publishing into an obs.Registry. The one
+// property everything here defends: instrumentation is observation-only
+// — publishing (or not publishing) never changes simulation results.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// TestKernelStatsInvariants runs a contended wait-capable workload and
+// checks the accounting identities the derived-skipped convention rests
+// on: every simulated cycle is either ticked or fast-forwarded, and no
+// phase ever ticks more components than exist.
+func TestKernelStatsInvariants(t *testing.T) {
+	const n = 5000
+	progFor := parityPrograms(platform.PolicyColibri, noc.Small(), 8)
+	sys := platform.New(platform.SmallConfig(platform.PolicyColibri), progFor)
+	sys.Run(n)
+
+	k := sys.Kernel
+	if k.Ticks == 0 {
+		t.Fatal("no ticks recorded")
+	}
+	if got := k.Ticks + k.FFCyclesSaved; got != n {
+		t.Errorf("Ticks+FFCyclesSaved = %d+%d = %d, want window %d",
+			k.Ticks, k.FFCyclesSaved, got, n)
+	}
+	cores := uint64(len(sys.Cores))
+	if k.SlotsTicked > k.Ticks*cores {
+		t.Errorf("SlotsTicked %d exceeds Ticks*cores %d", k.SlotsTicked, k.Ticks*cores)
+	}
+	banks := uint64(len(sys.Banks))
+	if k.BanksTicked > k.Ticks*banks {
+		t.Errorf("BanksTicked %d exceeds Ticks*banks %d", k.BanksTicked, k.Ticks*banks)
+	}
+	routers := uint64(sys.Fabric.NumRouters())
+	if k.RoutersTicked > k.Ticks*routers {
+		t.Errorf("RoutersTicked %d exceeds Ticks*routers %d", k.RoutersTicked, k.Ticks*routers)
+	}
+	if k.FFSpans == 0 || k.FFCyclesSaved == 0 {
+		t.Errorf("finite workload on a %d-cycle window should fast-forward (spans=%d saved=%d)",
+			n, k.FFSpans, k.FFCyclesSaved)
+	}
+	if k.Parks == 0 {
+		t.Error("contended wait-capable workload recorded no core parks")
+	}
+
+	// The published registry form satisfies the same identities, with
+	// skipped counts derived at publish time.
+	reg := obs.NewRegistry()
+	sys.PublishObs(reg)
+	s := sys.Snapshot()
+	m := reg.Snapshot()
+	checks := []struct {
+		ticked, skipped string
+		population      uint64
+	}{
+		{"kernel.slots.ticked", "kernel.slots.skipped", cores},
+		{"kernel.banks.ticked", "kernel.banks.skipped", banks},
+		{"kernel.routers.ticked", "kernel.routers.skipped", routers},
+	}
+	for _, c := range checks {
+		sum := m.Counter(c.ticked) + m.Counter(c.skipped)
+		if want := k.Ticks * c.population; sum != want {
+			t.Errorf("%s+%s = %d, want Ticks*%d = %d", c.ticked, c.skipped, sum, c.population, want)
+		}
+	}
+	if got := m.Counter("kernel.ticks"); got != k.Ticks {
+		t.Errorf("kernel.ticks = %d, want %d", got, k.Ticks)
+	}
+	if got := m.Counter("kernel.ff.cycles_saved"); got != k.FFCyclesSaved {
+		t.Errorf("kernel.ff.cycles_saved = %d, want %d", got, k.FFCyclesSaved)
+	}
+	// Published component totals agree with the Activity snapshot.
+	if got := m.Counter("kernel.core.deliveries"); got != s.Deliveries {
+		t.Errorf("kernel.core.deliveries = %d, want Activity.Deliveries %d", got, s.Deliveries)
+	}
+	if got := m.Counter("kernel.bank.responses"); got != s.BankResponses {
+		t.Errorf("kernel.bank.responses = %d, want Activity.BankResponses %d", got, s.BankResponses)
+	}
+	if got := m.Counter("kernel.fabric.flits"); got != s.Flits {
+		t.Errorf("kernel.fabric.flits = %d, want Activity.Flits %d", got, s.Flits)
+	}
+	if got := m.Counter("kernel.bank.accesses"); got != s.BankAccesses {
+		t.Errorf("kernel.bank.accesses = %d, want Activity.BankAccesses %d", got, s.BankAccesses)
+	}
+	// Per-policy counters live under the policy's registered name and
+	// mirror the shared bank counters.
+	pre := "kernel.policy." + sys.Policy.Name() + "."
+	if got := m.Counter(pre + "requests"); got != s.BankAccesses {
+		t.Errorf("%srequests = %d, want %d", pre, got, s.BankAccesses)
+	}
+	if got := m.Counter(pre + "sc_success"); got != s.SCSuccess {
+		t.Errorf("%ssc_success = %d, want %d", pre, got, s.SCSuccess)
+	}
+}
+
+// TestPublishObsDeltaExact checks the publish-delta contract: repeated
+// publishes add only the activity since the previous publish, so chunked
+// publishing lands on exactly the same cumulative registry state as one
+// final publish — and a publish with no intervening activity adds
+// nothing.
+func TestPublishObsDeltaExact(t *testing.T) {
+	build := func() *platform.System {
+		progFor := parityPrograms(platform.PolicyWaitQueue, noc.Small(), 8)
+		return platform.New(platform.SmallConfig(platform.PolicyWaitQueue), progFor)
+	}
+
+	chunked, whole := build(), build()
+	regChunked, regWhole := obs.NewRegistry(), obs.NewRegistry()
+	for i := 0; i < 5; i++ {
+		chunked.Run(700)
+		chunked.PublishObs(regChunked)
+		whole.Run(700)
+	}
+	whole.PublishObs(regWhole)
+	if a, b := regChunked.Snapshot(), regWhole.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Errorf("chunked publishes diverge from one-shot publish:\nchunked: %+v\nwhole:   %+v", a, b)
+	}
+
+	// Idempotence: no activity between publishes, no change.
+	before := regChunked.Snapshot()
+	chunked.PublishObs(regChunked)
+	if after := regChunked.Snapshot(); !reflect.DeepEqual(before, after) {
+		t.Errorf("publish without activity changed the registry:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+}
+
+// TestPublishObsObservationOnly is the parity guarantee for the
+// instrumentation itself: interleaving PublishObs calls with execution
+// must not perturb simulation state — same clock, same Activity, same
+// memory as an unpublished twin.
+func TestPublishObsObservationOnly(t *testing.T) {
+	progFor := parityPrograms(platform.PolicyColibri, noc.Small(), 8)
+	cfg := platform.SmallConfig(platform.PolicyColibri)
+	published, plain := platform.New(cfg, progFor), platform.New(cfg, progFor)
+
+	reg := obs.NewRegistry()
+	for i := 0; i < 6; i++ {
+		published.Run(500)
+		published.PublishObs(reg)
+		plain.Run(500)
+	}
+	if published.Clock.Now() != plain.Clock.Now() {
+		t.Fatalf("clock diverged: published=%d plain=%d", published.Clock.Now(), plain.Clock.Now())
+	}
+	requireSameActivity(t, int(plain.Clock.Now()), plain.Snapshot(), published.Snapshot())
+	for w := uint32(0); w < 16; w++ {
+		if pv, qv := published.ReadWord(4*w), plain.ReadWord(4*w); pv != qv {
+			t.Fatalf("word %d: published=%d plain=%d", w, pv, qv)
+		}
+	}
+}

@@ -90,6 +90,41 @@ type System struct {
 	// nHalted counts cores that have executed HALT, so RunUntilHalted's
 	// completion check is O(1) instead of an every-cycle core walk.
 	nHalted int
+	// nRouters caches Fabric.NumRouters() for Kernel accounting.
+	nRouters int
+
+	// Kernel counts what the activity-driven scheduler did — components
+	// ticked per phase, parks, fast-forward spans — with plain per-System
+	// increments (a few integer adds per Tick, using lengths the loop
+	// already computed). PublishObs pushes deltas into an obs.Registry on
+	// the cold path; per-Tick atomics would dwarf an idle cycle's cost.
+	Kernel KernelStats
+	// lastPub is the totals already published by PublishObs.
+	lastPub obsTotals
+}
+
+// KernelStats is the scheduler's own activity accounting, per executed
+// Tick (fast-forwarded cycles never reach Tick and are counted in
+// FFSpans/FFCyclesSaved instead). Skipped counts are derived at publish
+// time as Ticks×population − ticked, keeping the hot path to one add
+// per phase.
+type KernelStats struct {
+	// Ticks counts executed scheduled Tick calls.
+	Ticks uint64
+	// SlotsTicked counts core-slot (Qnode+Core) visits.
+	SlotsTicked uint64
+	// RoutersTicked counts dirty-router visits across both networks.
+	RoutersTicked uint64
+	// BanksTicked counts visits to banks with queued work.
+	BanksTicked uint64
+	// DelivTicked counts response-delivery visits.
+	DelivTicked uint64
+	// Parks counts cores taken off the schedule (quiescent or in PAUSE).
+	Parks uint64
+	// FFSpans and FFCyclesSaved count globally idle spans the clock
+	// jumped across instead of simulating, and the cycles so skipped.
+	FFSpans       uint64
+	FFCyclesSaved uint64
 }
 
 // New builds a system with every core running progFor(core). The
@@ -112,6 +147,7 @@ func New(cfg Config, progFor ProgramFor) *System {
 	s := &System{Cfg: cfg, Policy: pol}
 	topo := cfg.Topo
 	s.Fabric = noc.NewFabric(topo, &s.Clock, cfg.FIFODepth)
+	s.nRouters = s.Fabric.NumRouters()
 
 	nBanks := topo.NumBanks()
 	nCores := topo.NumCores()
@@ -184,7 +220,7 @@ func (s *System) Tick() {
 	}
 
 	// Phase 2: fabric routers with occupied inputs.
-	s.Fabric.TickActive()
+	routersTicked := s.Fabric.TickActive()
 
 	// Phase 3: banks with queued requests or pending responses.
 	s.bankScratch = s.banks.AppendTo(s.bankScratch[:0])
@@ -212,6 +248,13 @@ func (s *System) Tick() {
 			s.deliv.Remove(i)
 		}
 	}
+	// Per-phase accounting: one add per phase, from lengths the loop
+	// already had in hand (see KernelStats).
+	s.Kernel.Ticks++
+	s.Kernel.SlotsTicked += uint64(len(s.slotScratch))
+	s.Kernel.RoutersTicked += uint64(routersTicked)
+	s.Kernel.BanksTicked += uint64(len(s.bankScratch))
+	s.Kernel.DelivTicked += uint64(len(s.delScratch))
 	s.Clock.Advance()
 }
 
@@ -219,6 +262,7 @@ func (s *System) Tick() {
 // timer wake-up when it is counting down a PAUSE.
 func (s *System) parkCore(i int) {
 	c := s.Cores[i]
+	s.Kernel.Parks++
 	if c.State() == cpu.Halted {
 		s.nHalted++
 	}
@@ -271,13 +315,22 @@ func (s *System) Run(n int) {
 			w, ok := s.slots.NextWake()
 			if !ok || w >= target {
 				// Fully idle to the horizon: skip straight to it.
-				s.Clock.AdvanceTo(target)
+				s.fastForward(target)
 				return
 			}
-			s.Clock.AdvanceTo(w)
+			s.fastForward(w)
 		}
 		s.Tick()
 	}
+}
+
+// fastForward jumps the clock to cycle at, accounting the skipped span.
+func (s *System) fastForward(at engine.Cycle) {
+	if saved := at - s.Clock.Now(); saved > 0 {
+		s.Kernel.FFSpans++
+		s.Kernel.FFCyclesSaved += uint64(saved)
+	}
+	s.Clock.AdvanceTo(at)
 }
 
 // RunDense advances n cycles through the dense reference loop.
@@ -303,11 +356,11 @@ func (s *System) RunUntilHalted(maxCycles int) bool {
 			if !ok || w >= target {
 				break
 			}
-			s.Clock.AdvanceTo(w)
+			s.fastForward(w)
 		}
 		s.Tick()
 	}
-	s.Clock.AdvanceTo(target)
+	s.fastForward(target)
 	return s.nHalted == len(s.Cores)
 }
 

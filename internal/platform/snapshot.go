@@ -26,10 +26,16 @@ type Activity struct {
 	SCFail       uint64
 	WaitRefusals uint64
 
+	// Deliveries counts memory responses delivered to cores. Safe for
+	// kernel parity: both cycle loops reach cpu.Core.Deliver identically
+	// (scheduler-only effects like parks live in KernelStats instead).
+	Deliveries uint64
+
 	// Fabric hop traversals and bank activations.
-	Flits        uint64
-	BankAccesses uint64
-	BankWrites   uint64
+	Flits         uint64
+	BankAccesses  uint64
+	BankWrites    uint64
+	BankResponses uint64
 
 	// Protocol traffic (Colibri).
 	SuccUpdates uint64
@@ -59,6 +65,7 @@ func (s *System) Snapshot() Activity {
 		a.SCSuccess += st.SCSuccess
 		a.SCFail += st.SCFail
 		a.WaitRefusals += st.WaitRefusals
+		a.Deliveries += st.Deliveries
 	}
 	for _, n := range s.Qnodes {
 		a.SuccUpdates += n.Stats.SuccUpdates
@@ -68,6 +75,7 @@ func (s *System) Snapshot() Activity {
 	for _, b := range s.Banks {
 		a.BankAccesses += b.Stats.Accesses
 		a.BankWrites += b.Stats.Writes
+		a.BankResponses += b.Stats.Responses
 	}
 	return a
 }
@@ -92,9 +100,11 @@ func Delta(a, b Activity) Activity {
 	d.SCSuccess = b.SCSuccess - a.SCSuccess
 	d.SCFail = b.SCFail - a.SCFail
 	d.WaitRefusals = b.WaitRefusals - a.WaitRefusals
+	d.Deliveries = b.Deliveries - a.Deliveries
 	d.Flits = b.Flits - a.Flits
 	d.BankAccesses = b.BankAccesses - a.BankAccesses
 	d.BankWrites = b.BankWrites - a.BankWrites
+	d.BankResponses = b.BankResponses - a.BankResponses
 	d.SuccUpdates = b.SuccUpdates - a.SuccUpdates
 	d.WakeUps = b.WakeUps - a.WakeUps
 	return d

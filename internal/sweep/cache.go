@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // binaryFingerprint hashes the running executable, once per process.
@@ -95,12 +99,17 @@ func (c *Cache) path(key string) string {
 func (c *Cache) Get(key string) (Point, bool) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
+		obs.Default().Counter("sweep.cache.misses").Inc()
 		return Point{}, false
 	}
 	var e entry
 	if json.Unmarshal(b, &e) != nil || e.Key != key {
+		obs.Default().Counter("sweep.cache.misses").Inc()
 		return Point{}, false
 	}
+	reg := obs.Default()
+	reg.Counter("sweep.cache.hits").Inc()
+	reg.Counter("sweep.cache.read_bytes").Add(uint64(len(b)))
 	return e.Point, true
 }
 
@@ -128,5 +137,66 @@ func (c *Cache) Put(key string, p Point) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	reg := obs.Default()
+	reg.Counter("sweep.cache.stores").Inc()
+	reg.Counter("sweep.cache.store_bytes").Add(uint64(len(b)))
+	return nil
+}
+
+// CacheStats describes the on-disk state of a cache directory plus the
+// process's hit/miss traffic against it (from the obs registry — zero
+// when no run consulted the cache in this process).
+type CacheStats struct {
+	Dir        string `json:"dir"`
+	Entries    int    `json:"entries"`
+	TotalBytes int64  `json:"totalBytes"`
+
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Stores     uint64 `json:"stores"`
+	ReadBytes  uint64 `json:"readBytes"`
+	StoreBytes uint64 `json:"storeBytes"`
+}
+
+// Stats walks the cache directory counting entries and bytes, and folds
+// in the process-wide cache counters. Temp files from in-flight writes
+// are skipped.
+func (c *Cache) Stats() (CacheStats, error) {
+	st := CacheStats{Dir: c.dir}
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Entries++
+		st.TotalBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return CacheStats{}, fmt.Errorf("sweep: scan cache: %w", err)
+	}
+	snap := obs.Default().Snapshot()
+	st.Hits = snap.Counter("sweep.cache.hits")
+	st.Misses = snap.Counter("sweep.cache.misses")
+	st.Stores = snap.Counter("sweep.cache.stores")
+	st.ReadBytes = snap.Counter("sweep.cache.read_bytes")
+	st.StoreBytes = snap.Counter("sweep.cache.store_bytes")
+	return st, nil
+}
+
+// Summary renders the stats as the -cache-stats report.
+func (st CacheStats) Summary() string {
+	return fmt.Sprintf("cache %s: %d entries, %d bytes on disk\n"+
+		"this process: %d hits, %d misses, %d stores (%d bytes read, %d bytes written)",
+		st.Dir, st.Entries, st.TotalBytes,
+		st.Hits, st.Misses, st.Stores, st.ReadBytes, st.StoreBytes)
 }

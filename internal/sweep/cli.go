@@ -188,7 +188,7 @@ func ExplicitWindow(v int) int {
 // terminate the line.
 func ProgressPrinter(w io.Writer) (progress func(Event), flush func()) {
 	var mu sync.Mutex
-	maxDone, cached, wrote := 0, 0, false
+	maxDone, total, cached := 0, 0, 0
 	return func(ev Event) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -198,21 +198,26 @@ func ProgressPrinter(w io.Writer) (progress func(Event), flush func()) {
 			if ev.Done > maxDone {
 				maxDone = ev.Done
 			}
-			// Always reprint at the high-water count so a cached
-			// straggler's increment still reaches the final line.
-			wrote = true
+			total = ev.Total
 			fmt.Fprintf(w, "\rsweep: %d/%d points (%d cached)", maxDone, ev.Total, cached)
 		}, func() {
 			mu.Lock()
 			defer mu.Unlock()
-			if wrote {
-				fmt.Fprintln(w)
-			}
+			// Terminate the status line unconditionally: a zero-point run
+			// (everything deduplicated or an empty selection) must still
+			// leave the terminal on a fresh line, not mid-overwrite.
+			fmt.Fprintf(w, "\rsweep: %d/%d points (%d cached)\n", maxDone, total, cached)
 		}
 }
 
-// Summary formats the run statistics for the tools' stderr reporting.
+// Summary formats the run statistics for the tools' stderr reporting,
+// including the cache-hit rate over the run's units.
 func (st RunStats) Summary() string {
-	return fmt.Sprintf("%d points: %d simulated, %d cached in %v",
-		st.Units, st.Executed, st.CacheHits, st.Elapsed.Round(time.Millisecond))
+	rate := 0.0
+	if st.Units > 0 {
+		rate = 100 * float64(st.CacheHits) / float64(st.Units)
+	}
+	return fmt.Sprintf("%d points: %d simulated, %d cached (%.0f%% hit rate) in %v",
+		st.Units, st.Executed, st.CacheHits, rate,
+		st.Elapsed.Round(time.Millisecond))
 }

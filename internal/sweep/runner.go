@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep/work"
 )
 
@@ -14,13 +16,52 @@ type Event struct {
 	Cached      bool // served from the cache, no simulation ran
 }
 
+// PointTiming records how one work unit of a run was executed: which
+// worker ran it, when (offsets from the run start), and whether the
+// cache served it. It is observation-only data for manifests and the
+// timeline exporter; results never depend on it. FFCyclesSaved samples
+// the cumulative kernel.ff.cycles_saved counter at unit completion —
+// with concurrent workers sharing the process-wide registry the exact
+// per-unit attribution is unknowable, but the sample sequence still
+// shows where a sweep's fast-forwarding concentrated.
+type PointTiming struct {
+	Job    int    `json:"job"`    // index into the run's job list
+	Kind   string `json:"kind"`   // experiment kind
+	Series string `json:"series"` // series name within the job
+	Index  int    `json:"index"`  // point index within the series
+	X      int    `json:"x"`      // swept coordinate of the point
+
+	Worker  int           `json:"worker"`
+	Start   time.Duration `json:"startNs"` // offset from run start
+	Dur     time.Duration `json:"durNs"`
+	Cached  bool          `json:"cached"`
+	Sim     bool          `json:"sim"`               // unit runs a simulation (vs. static table row)
+	Deduped int           `json:"deduped,omitempty"` // extra placements served by this unit
+
+	FFCyclesSaved uint64 `json:"ffCyclesSaved,omitempty"`
+}
+
 // RunStats summarizes a Run/RunAll invocation. It is reported out of
-// band (never part of a Result) so result JSON stays run-independent.
+// band (never part of a Result) so result JSON stays run-independent;
+// the run manifest serializes it wholesale.
 type RunStats struct {
-	Units     int // distinct work units (identical points across jobs collapse)
-	Executed  int // simulations executed this run
-	CacheHits int // units served from the cache
-	Elapsed   time.Duration
+	Units     int           `json:"units"`     // distinct work units (identical points across jobs collapse)
+	Executed  int           `json:"executed"`  // simulations executed this run
+	CacheHits int           `json:"cacheHits"` // units served from the cache
+	Elapsed   time.Duration `json:"elapsedNs"`
+
+	// Workers is the effective pool width of the run.
+	Workers int `json:"workers"`
+	// WorkerBusy is each worker's cumulative in-unit time; against
+	// Elapsed it gives per-lane utilization.
+	WorkerBusy []time.Duration `json:"workerBusyNs,omitempty"`
+	// Timings has one entry per unit, in deterministic unit order (job,
+	// series, point — never scheduling order).
+	Timings []PointTiming `json:"timings,omitempty"`
+	// Metrics is the activity this run added to the process-wide obs
+	// registry: the kernel counters published by the points it executed
+	// plus the sweep engine's own (cache traffic, per-point timers).
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // Runner fans sweep jobs out across a worker pool with optional point
@@ -50,6 +91,8 @@ func (r *Runner) Run(job Job) (*Result, RunStats, error) {
 // Results are assembled in job order with engine-defined series/point
 // order — output never depends on scheduling.
 func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
+	reg := obs.Default()
+	before := reg.Snapshot()
 	start := time.Now()
 	results := make([]*Result, len(jobs))
 	// Identical points across jobs (same non-empty cache key) collapse
@@ -92,9 +135,20 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 		}
 	}
 
+	pool := work.Pool{Workers: r.Workers}
+	nWorkers := pool.Size(len(units))
+	busy := make([]time.Duration, nWorkers)
+	var busyMu sync.Mutex
+	timings := make([]PointTiming, len(units))
+	ffSaved := reg.Counter("kernel.ff.cycles_saved")
+	pointWall := reg.Timer("sweep.point.wall")
+	queueWait := reg.Timer("sweep.queue.wait")
+
 	var done, executed, hits atomic.Int64
-	work.Pool{Workers: r.Workers}.Map(len(units), func(i int) {
+	pool.MapWorkers(len(units), func(worker, i int) {
 		u := units[i]
+		unitStart := time.Since(start)
+		queueWait.Observe(unitStart)
 		var p Point
 		cached := false
 		if r.Cache != nil && u.key != "" {
@@ -115,11 +169,32 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 		for _, at := range u.places {
 			results[at.job].Series[at.si].Points[at.pi] = p
 		}
+		dur := time.Since(start) - unitStart
+		pointWall.Observe(dur)
+		busyMu.Lock()
+		busy[worker] += dur
+		busyMu.Unlock()
+		at := u.places[0]
+		res := results[at.job]
+		timings[i] = PointTiming{
+			Job:           at.job,
+			Kind:          string(res.Job.Kind),
+			Series:        res.Series[at.si].Name,
+			Index:         at.pi,
+			X:             p.X,
+			Worker:        worker,
+			Start:         unitStart,
+			Dur:           dur,
+			Cached:        cached,
+			Sim:           u.sim,
+			Deduped:       len(u.places) - 1,
+			FFCyclesSaved: ffSaved.Value(),
+		}
 		if r.Progress != nil {
 			r.Progress(Event{
 				Done:   int(done.Add(1)),
 				Total:  len(units),
-				Kind:   results[u.places[0].job].Job.Kind,
+				Kind:   res.Job.Kind,
 				Cached: cached,
 			})
 		}
@@ -128,11 +203,22 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 	for _, res := range results {
 		finalize(res)
 	}
+	// Timings are indexed by unit, and units were laid out in (job,
+	// series, point) order — deterministic placement order regardless of
+	// scheduling, no sort needed.
+	reg.Counter("sweep.points.total").Add(uint64(len(units)))
+	reg.Counter("sweep.points.executed").Add(uint64(executed.Load()))
+	reg.Counter("sweep.points.cached").Add(uint64(hits.Load()))
+	reg.Gauge("sweep.workers").Set(int64(nWorkers))
 	st := RunStats{
-		Units:     len(units),
-		Executed:  int(executed.Load()),
-		CacheHits: int(hits.Load()),
-		Elapsed:   time.Since(start),
+		Units:      len(units),
+		Executed:   int(executed.Load()),
+		CacheHits:  int(hits.Load()),
+		Elapsed:    time.Since(start),
+		Workers:    nWorkers,
+		WorkerBusy: busy,
+		Timings:    timings,
+		Metrics:    obs.Diff(before, reg.Snapshot()),
 	}
 	return results, st, nil
 }

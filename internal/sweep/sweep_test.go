@@ -156,6 +156,48 @@ func TestCacheKeyMismatchIsMiss(t *testing.T) {
 	}
 }
 
+// TestCacheStats checks the on-disk side of the -cache-stats report
+// (entry and byte counts from a directory walk; the traffic counters
+// are process-cumulative and owned by the obs tests) and that the
+// process counters move across a Put/Get pair.
+func TestCacheStats(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Entries != 0 || empty.TotalBytes != 0 {
+		t.Errorf("fresh cache stats = %d entries/%d bytes, want 0/0", empty.Entries, empty.TotalBytes)
+	}
+	for i, key := range []string{"a", "b", "c"} {
+		if err := c.Put(key, Point{X: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Get("a")       // hit
+	c.Get("missing") // miss
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || st.TotalBytes == 0 {
+		t.Errorf("stats = %d entries/%d bytes, want 3 entries, non-zero bytes", st.Entries, st.TotalBytes)
+	}
+	if st.Hits-empty.Hits != 1 || st.Misses-empty.Misses != 1 || st.Stores-empty.Stores != 3 {
+		t.Errorf("traffic deltas hits/misses/stores = %d/%d/%d, want 1/1/3",
+			st.Hits-empty.Hits, st.Misses-empty.Misses, st.Stores-empty.Stores)
+	}
+	if st.ReadBytes <= empty.ReadBytes || st.StoreBytes <= empty.StoreBytes {
+		t.Error("byte counters did not move")
+	}
+	if s := st.Summary(); !strings.Contains(s, "3 entries") {
+		t.Errorf("summary missing entry count: %q", s)
+	}
+}
+
 // resultJSON runs one job and returns its JSON bytes.
 func resultJSON(t *testing.T, r Runner, job Job) []byte {
 	t.Helper()

@@ -57,13 +57,22 @@ func (p Pool) Map2D(nOuter, nInner int, fn func(i, j int)) {
 // must be safe for concurrent invocation when the pool has more than one
 // worker; each index is claimed by exactly one worker.
 func (p Pool) Map(n int, fn func(i int)) {
+	p.MapWorkers(n, func(_, i int) { fn(i) })
+}
+
+// MapWorkers is Map with worker identity: fn(worker, i) where worker is
+// the stable goroutine index in [0, Size(n)). The sweep runner uses it
+// to attribute point timings to timeline lanes (one per worker) and to
+// account per-worker utilization; fn's result placement must still
+// depend only on i, never on worker.
+func (p Pool) MapWorkers(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	w := p.size(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -72,16 +81,20 @@ func (p Pool) Map(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }
+
+// Size returns the effective worker count the pool would use for n
+// items (what MapWorkers' worker indices range over).
+func (p Pool) Size(n int) int { return p.size(n) }

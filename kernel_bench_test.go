@@ -14,6 +14,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -103,6 +104,40 @@ func BenchmarkTickIdleSleepers(b *testing.B) {
 // worst case, bounding its bookkeeping overhead over dense ticking.
 func BenchmarkTickHot(b *testing.B) {
 	benchTickKernels(b, hotSystem, 2000)
+}
+
+// BenchmarkTickInstrumented gates the cost of the observability layer:
+// the scheduled kernel with its always-on KernelStats counting plus a
+// full PublishObs into the process registry per iteration (the cold-path
+// publish a sweep point pays once). Compare its cycles/sec against
+// BenchmarkTickIdleSleepers/kernel=sched of the pre-instrumentation
+// baseline (BENCH_kernel.json; deltas recorded in BENCH_obs.json) —
+// the budget is <3% on the sleeper hot path.
+func BenchmarkTickInstrumented(b *testing.B) {
+	const cyclesPerIter = 5000
+	for _, tc := range kernelTopos() {
+		for _, w := range []struct {
+			name  string
+			build func(noc.Topology) *platform.System
+		}{
+			{"load=sleepers", sleeperSystem},
+			{"load=hot", hotSystem},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, w.name), func(b *testing.B) {
+				sys := w.build(tc.topo)
+				reg := obs.NewRegistry()
+				sys.Run(500)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.Run(cyclesPerIter)
+					sys.PublishObs(reg)
+				}
+				b.StopTimer()
+				cycles := float64(cyclesPerIter) * float64(b.N)
+				b.ReportMetric(cycles/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
 }
 
 // TestTeraPoolRunUntilHaltedSmoke drives the full 1024-core TeraPool

@@ -21,6 +21,20 @@
 // See examples/ for runnable programs (examples/custompolicy defines a
 // new synchronization primitive end to end) and cmd/ for the evaluation
 // tools.
+//
+// # Observability
+//
+// Every layer reports into one process-wide metrics registry
+// (ObsDefault): the kernel publishes per-phase ticked/skipped counts,
+// fast-forward savings and per-policy bank traffic through
+// System.PublishObs; the sweep engine adds cache traffic and per-point
+// timers. Instrumentation is observation-only — results are
+// byte-identical with or without it. Run-scoped views come from
+// ObsDiff of two snapshots (SweepStats.Metrics is exactly that);
+// NewRunManifest records a sweep's full run context as JSON and
+// WriteSweepTrace renders its timeline for chrome://tracing. Custom
+// scenarios and policies mint their own metrics under their own prefix
+// via ObsDefault().Counter("mypkg.thing").
 package lrscwait
 
 import (
@@ -32,6 +46,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -301,8 +316,24 @@ type (
 	SweepGrid = sweep.Grid
 	// SweepCache memoizes finished points on disk.
 	SweepCache = sweep.Cache
-	// SweepStats summarizes executed vs cached points of a run.
+	// SweepCacheStats is a cache directory's disk footprint plus this
+	// process's hit/miss traffic (SweepCache.Stats).
+	SweepCacheStats = sweep.CacheStats
+	// SweepStats summarizes executed vs cached points of a run,
+	// including per-point timings (Timings), worker utilization and the
+	// run-scoped obs metric snapshot (Metrics).
 	SweepStats = sweep.RunStats
+	// SweepPointTiming records how one work unit of a run executed
+	// (worker, start/duration, cache state) — observation-only data for
+	// manifests and timelines.
+	SweepPointTiming = sweep.PointTiming
+	// RunManifest is the JSON run record emitted next to sweep results:
+	// job spec hashes, environment, RunStats, metrics.
+	RunManifest = sweep.Manifest
+	// RunEnvironment captures the host a run executed on.
+	RunEnvironment = sweep.Environment
+	// TraceEvent is one Chrome trace-event timeline entry.
+	TraceEvent = sweep.TraceEvent
 
 	// Scenario is one registrable experiment: a named workload the
 	// engine expands into curves of independently scheduled points. The
@@ -388,6 +419,50 @@ func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(di
 func RunSweeps(jobs ...SweepJob) ([]*SweepResult, SweepStats, error) {
 	var r SweepRunner
 	return r.RunAll(jobs)
+}
+
+// Observability re-exports: the process-wide metrics registry every
+// layer reports into. Kernel counters ("kernel.*") are published by
+// System.PublishObs (the experiment runners call it after every
+// measured point); the sweep engine publishes its own ("sweep.*") and
+// records each run's delta in SweepStats.Metrics. Custom scenarios and
+// policies register metrics under their own prefix via
+// ObsDefault().Counter("mypkg.thing") and they flow through manifests
+// and the -obs flags exactly like the built-ins.
+type (
+	// ObsRegistry holds named counters, gauges and timers.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotonically increasing metric (atomic).
+	ObsCounter = obs.Counter
+	// ObsGauge is a level that moves both ways (atomic).
+	ObsGauge = obs.Gauge
+	// ObsTimer accumulates duration observations (count + total).
+	ObsTimer = obs.Timer
+	// ObsSnapshot is a deterministic point-in-time copy of a registry.
+	ObsSnapshot = obs.Snapshot
+)
+
+// ObsDefault returns the process-wide metrics registry.
+func ObsDefault() *ObsRegistry { return obs.Default() }
+
+// NewObsRegistry returns an empty, private metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsDiff returns the activity between two snapshots of the same
+// registry (counters and timers subtract; gauges carry b's values).
+func ObsDiff(a, b ObsSnapshot) ObsSnapshot { return obs.Diff(a, b) }
+
+// NewRunManifest assembles the run manifest for a finished sweep
+// (results and stats as returned by RunSweeps or a SweepRunner;
+// cacheDir empty when caching was off).
+func NewRunManifest(results []*SweepResult, st SweepStats, cacheDir string) RunManifest {
+	return sweep.NewManifest(results, st, cacheDir)
+}
+
+// WriteSweepTrace writes a run's timeline as Chrome trace-event JSON
+// (loadable in chrome://tracing).
+func WriteSweepTrace(path string, st SweepStats) error {
+	return sweep.WriteTrace(path, st)
 }
 
 // Histogram kernel construction for library users (see internal/kernels
