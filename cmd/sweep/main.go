@@ -32,7 +32,7 @@
 //	      [-grid 'policy=lrsc,colibri queuecap=0,1,2 colibriq=2,4,8 backoff=0,64']
 //	      [-params 'key=value ...']
 //	      [-warmup N] [-measure N] [-matn N] [-ms]
-//	      [-workers N] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
+//	      [-workers N] [-partitions N|-1] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
 //	      [-csv] [-quiet]
 //	      [-manifest FILE] [-trace FILE] [-obs] [-cache-stats]
 //	      [-cpuprofile FILE] [-memprofile FILE]
@@ -113,6 +113,7 @@ func main() {
 	matN := flag.Int("matn", 0, "fig 5 matrix dimension (0 = default 128)")
 	ms := flag.Bool("ms", false, "fig 6 on the Michael-Scott queue instead of the FAA ring")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	partitions := flag.Int("partitions", 0, "kernel partitions per simulated system: 0 = sequential kernel, -1 = min(GOMAXPROCS, tiles), N = N OS threads per point (results are bit-identical for any value)")
 	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (default, ~/.cache/lrscwait) or \"off\"")
 	jsonDir := flag.String("json", "", "also write one deterministic <kind>.json per result into this directory")
 	csv := flag.Bool("csv", false, "emit CSV to stdout instead of an aligned table (single selection only)")
@@ -125,6 +126,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	// The scenario registry builds its systems internally, so the
+	// partition count travels as the process default.
+	platform.SetDefaultPartitions(*partitions)
 
 	if *listKinds {
 		for _, name := range sweep.Names() {
@@ -164,8 +169,9 @@ func main() {
 	}
 	if len(figSel) == 0 && len(tableSel) == 0 && len(kindSel) == 0 {
 		if *cacheStats {
-			// Standalone cache inspection: no sweep, just the report.
-			cache, err := sweep.OpenCacheFlag(*cacheFlag, true)
+			// Standalone cache inspection: no sweep, just the report —
+			// read-only, so a missing cache is reported, not created.
+			cache, err := sweep.InspectCacheFlag(*cacheFlag)
 			if err != nil {
 				fail("%v", err)
 			}

@@ -55,6 +55,10 @@ type Fabric struct {
 	respActive  engine.ActiveSet
 	reqScratch  []int
 	respScratch []int
+
+	// shard, when non-nil, switches the dirty tracking to the
+	// partition-parallel atomic bitsets (see Shard in shard.go).
+	shard *fabricShard
 }
 
 // NewFabric builds the fabric. depth is the capacity of every FIFO stage;
@@ -241,7 +245,7 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 	f.reqActive = engine.MakeActiveSet(len(f.reqRouters))
 	for i, r := range f.reqRouters {
 		i := i
-		wake := func() { f.reqActive.Add(i) }
+		wake := func() { f.wakeReq(i) }
 		for _, q := range r.in {
 			q.OnPush(wake)
 		}
@@ -249,7 +253,7 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 	f.respActive = engine.MakeActiveSet(len(f.respRouters))
 	for i, r := range f.respRouters {
 		i := i
-		wake := func() { f.respActive.Add(i) }
+		wake := func() { f.wakeResp(i) }
 		for _, q := range r.in {
 			q.OnPush(wake)
 		}

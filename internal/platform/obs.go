@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"strconv"
+
 	"repro/internal/mem"
 	"repro/internal/obs"
 )
@@ -30,10 +32,15 @@ type obsTotals struct {
 // already reconciled parked cores when needed; only plain counters are
 // read here).
 func (s *System) collectTotals() obsTotals {
-	t := obsTotals{
-		kernel:     s.Kernel,
-		heapPushes: s.slots.HeapPushes,
-		heapPops:   s.slots.HeapPops,
+	t := obsTotals{kernel: s.Kernel}
+	if s.par != nil {
+		for _, p := range s.par.parts {
+			t.heapPushes += p.slots.HeapPushes
+			t.heapPops += p.slots.HeapPops
+		}
+	} else {
+		t.heapPushes = s.slots.HeapPushes
+		t.heapPops = s.slots.HeapPops
 	}
 	for _, c := range s.Cores {
 		t.deliveries += c.Stats.Deliveries
@@ -75,7 +82,14 @@ func addNZ(reg *obs.Registry, name string, delta uint64) {
 // ticked: every executed Tick either visits a component or skips it
 // (cycles removed entirely by fast-forwarding are reported separately as
 // kernel.ff.*).
+//
+// PublishObs is safe to call concurrently on the same System (e.g. a
+// periodic metrics flusher racing a run's final publish): the
+// collect-and-diff is serialized under a mutex so each delta is counted
+// exactly once.
 func (s *System) PublishObs(reg *obs.Registry) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
 	cur := s.collectTotals()
 	prev := s.lastPub
 	s.lastPub = cur
@@ -113,4 +127,21 @@ func (s *System) PublishObs(reg *obs.Registry) {
 	addNZ(reg, pre+"sc_success", cur.policy.SCSuccess-prev.policy.SCSuccess)
 	addNZ(reg, pre+"sc_fail", cur.policy.SCFail-prev.policy.SCFail)
 	addNZ(reg, pre+"invalidations", cur.policy.Invalidations-prev.policy.Invalidations)
+
+	// Partitioned kernel: per-partition load-balance view. Only emitted
+	// when the kernel is actually partitioned, so sequential runs keep
+	// their exact metric set.
+	if s.par != nil {
+		reg.Gauge("kernel.partitions").Set(int64(s.par.nParts))
+		for i, p := range s.par.parts {
+			pk, prevPK := p.stats, s.lastPubParts[i]
+			s.lastPubParts[i] = pk
+			pre := "kernel.part." + strconv.Itoa(i) + "."
+			addNZ(reg, pre+"slots.ticked", pk.SlotsTicked-prevPK.SlotsTicked)
+			addNZ(reg, pre+"routers.ticked", pk.RoutersTicked-prevPK.RoutersTicked)
+			addNZ(reg, pre+"banks.ticked", pk.BanksTicked-prevPK.BanksTicked)
+			addNZ(reg, pre+"deliv.ticked", pk.DelivTicked-prevPK.DelivTicked)
+			addNZ(reg, pre+"cores.parked", pk.Parks-prevPK.Parks)
+		}
+	}
 }

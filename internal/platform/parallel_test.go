@@ -1,0 +1,259 @@
+package platform_test
+
+// Differential tests of the partitioned parallel kernel: TickParallel /
+// Run / RunUntilHalted on a partitioned system must be bit-identical to
+// the sequential scheduled kernel — same Activity snapshot every cycle,
+// same memory, same clock, same aggregate KernelStats — for every
+// partition count, every registered policy, and both driving styles
+// (worker goroutines and the inline single-threaded barrier cycle that
+// backs Tick on a partitioned system).
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// parParityPair builds two identical systems: a sequential reference and
+// a partitioned one with the requested partition count.
+func parParityPair(policy platform.PolicyKind, topo noc.Topology, itersBase, parts int) (seq, par *platform.System) {
+	progFor := parityPrograms(policy, topo, itersBase)
+	seq = platform.New(platform.Config{Topo: topo, Policy: policy}, progFor)
+	par = platform.New(platform.Config{Topo: topo, Policy: policy, Partitions: parts}, progFor)
+	return seq, par
+}
+
+// parityPartCounts is the partition set the suite sweeps: an even split,
+// a deliberately ragged odd split (clamped to the tile count on the
+// small topology), and whatever this host would pick by default.
+func parityPartCounts() []int {
+	counts := []int{2, 7}
+	if p := runtime.GOMAXPROCS(0); p != 2 && p != 7 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func requireSameKernelStats(t *testing.T, seq, par *platform.System) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.Kernel, par.Kernel) {
+		t.Fatalf("KernelStats diverged\nseq: %+v\npar: %+v", seq.Kernel, par.Kernel)
+	}
+}
+
+func requireSameMemory(t *testing.T, seq, par *platform.System) {
+	t.Helper()
+	for w := uint32(0); w < 16; w++ {
+		if sv, pv := seq.ReadWord(4*w), par.ReadWord(4*w); sv != pv {
+			t.Fatalf("word %d: seq=%d par=%d", w, sv, pv)
+		}
+	}
+}
+
+// TestParallelParityCycleByCycle drives a sequential and a partitioned
+// system in lockstep — Tick vs TickParallel — and requires identical
+// Activity snapshots every single cycle, for every partition count in
+// the sweep. The aggregate KernelStats must match too: the partitioned
+// kernel visits exactly the components the sequential one does.
+func TestParallelParityCycleByCycle(t *testing.T) {
+	forEachParityCase(t, map[string]int{"small": 1200, "mempool": 250},
+		func(t *testing.T, policy platform.PolicyKind, topo noc.Topology, n int) {
+			for _, parts := range parityPartCounts() {
+				parts := parts
+				t.Run(fmt.Sprintf("p%d", parts), func(t *testing.T) {
+					seq, par := parParityPair(policy, topo, 8, parts)
+					for cycle := 0; cycle <= n; cycle++ {
+						requireSameActivity(t, cycle, seq.Snapshot(), par.Snapshot())
+						if sq, pq := seq.Quiescent(), par.Quiescent(); sq != pq {
+							t.Fatalf("cycle %d: Quiescent seq=%v par=%v", cycle, sq, pq)
+						}
+						if sh, ph := seq.AllHalted(), par.AllHalted(); sh != ph {
+							t.Fatalf("cycle %d: AllHalted seq=%v par=%v", cycle, sh, ph)
+						}
+						seq.Tick()
+						par.TickParallel()
+					}
+					requireSameKernelStats(t, seq, par)
+					requireSameMemory(t, seq, par)
+				})
+			}
+		})
+}
+
+// TestParallelInlineTickParity covers the other driving style: Tick on a
+// partitioned system runs the barrier-cycle structure inline on one
+// thread (that is what keeps per-cycle drivers like the trace sampler
+// working), and must equal the sequential kernel exactly like the
+// worker-driven variant.
+func TestParallelInlineTickParity(t *testing.T) {
+	forEachParityCase(t, map[string]int{"small": 800, "mempool": 150},
+		func(t *testing.T, policy platform.PolicyKind, topo noc.Topology, n int) {
+			seq, par := parParityPair(policy, topo, 8, 2)
+			for cycle := 0; cycle <= n; cycle++ {
+				requireSameActivity(t, cycle, seq.Snapshot(), par.Snapshot())
+				seq.Tick()
+				par.Tick() // inline partitioned cycle
+			}
+			requireSameKernelStats(t, seq, par)
+			requireSameMemory(t, seq, par)
+		})
+}
+
+// TestParallelRunParity exercises the worker-driven run loop with its
+// leader-side fast-forward decisions: a PAUSE-heavy workload whose idle
+// spans the windows deliberately cut mid-way, advanced in identical
+// windows on both systems. Clock, snapshots and the fast-forward
+// counters themselves must match.
+func TestParallelRunParity(t *testing.T) {
+	prog := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.CoreID(isa.T0)
+		b.Slli(isa.T0, isa.T0, 4)
+		b.Addi(isa.T0, isa.T0, 200) // per-core pause length: 200 + 16*id
+		b.Li(isa.S0, 6)             // six pause/mark rounds, then halt
+		b.Label("loop")
+		b.Pause(isa.T0)
+		b.Mark()
+		b.Addi(isa.S0, isa.S0, -1)
+		b.Bnez(isa.S0, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}()
+	for _, parts := range parityPartCounts() {
+		parts := parts
+		t.Run(fmt.Sprintf("p%d", parts), func(t *testing.T) {
+			cfg := platform.SmallConfig(platform.PolicyPlain)
+			seq := platform.New(cfg, platform.SameProgram(prog))
+			cfg.Partitions = parts
+			par := platform.New(cfg, platform.SameProgram(prog))
+			for _, window := range []int{97, 513, 1000, 3001, 170} {
+				seq.Run(window)
+				par.Run(window)
+				if seq.Clock.Now() != par.Clock.Now() {
+					t.Fatalf("clock after window %d: seq=%d par=%d",
+						window, seq.Clock.Now(), par.Clock.Now())
+				}
+				requireSameActivity(t, int(seq.Clock.Now()), seq.Snapshot(), par.Snapshot())
+			}
+			requireSameKernelStats(t, seq, par)
+			if !seq.AllHalted() || !par.AllHalted() {
+				t.Fatal("fast-forward workload should have halted inside the windows")
+			}
+		})
+	}
+}
+
+// TestParallelRunUntilHaltedParity compares the halt-driven entry point:
+// same halt outcome, same final clock (including the no-fast-forward
+// semantics of halting mid-budget), same snapshot, memory and stats.
+func TestParallelRunUntilHaltedParity(t *testing.T) {
+	forEachParityCase(t, map[string]int{"small": 300000, "mempool": 300000},
+		func(t *testing.T, policy platform.PolicyKind, topo noc.Topology, max int) {
+			itersBase := 8
+			if topo.NumCores() > 64 {
+				itersBase = 1
+			}
+			seq, par := parParityPair(policy, topo, itersBase, 3)
+			seqHalted := seq.RunUntilHalted(max)
+			parHalted := par.RunUntilHalted(max)
+			if seqHalted != parHalted {
+				t.Fatalf("halted: seq=%v par=%v", seqHalted, parHalted)
+			}
+			if !seqHalted {
+				t.Fatalf("parity workload did not halt within %d cycles", max)
+			}
+			if seq.Clock.Now() != par.Clock.Now() {
+				t.Fatalf("clock: seq=%d par=%d", seq.Clock.Now(), par.Clock.Now())
+			}
+			requireSameActivity(t, int(seq.Clock.Now()), seq.Snapshot(), par.Snapshot())
+			requireSameKernelStats(t, seq, par)
+			requireSameMemory(t, seq, par)
+		})
+}
+
+// TestPartitionResolution pins the partition-count plumbing: clamping to
+// the tile count, the process-default escape hatch, the auto setting,
+// and the sequential fallbacks of the parallel entry points.
+func TestPartitionResolution(t *testing.T) {
+	registerKernelTestPolicy()
+	topo := noc.Small() // 4 tiles
+	mk := func(parts int) *platform.System {
+		return platform.New(platform.Config{Topo: topo, Policy: platform.PolicyPlain, Partitions: parts},
+			parityPrograms(platform.PolicyPlain, topo, 4))
+	}
+	if got := mk(0).Partitions(); got != 1 {
+		t.Fatalf("default partitions = %d, want 1 (sequential)", got)
+	}
+	if got := mk(7).Partitions(); got != topo.NumTiles() {
+		t.Fatalf("partitions=7 resolved to %d, want clamp to %d tiles", got, topo.NumTiles())
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > topo.NumTiles() {
+		want = topo.NumTiles()
+	}
+	if got := mk(platform.PartitionsAuto).Partitions(); got != want {
+		t.Fatalf("PartitionsAuto resolved to %d, want min(GOMAXPROCS, tiles) = %d", got, want)
+	}
+	platform.SetDefaultPartitions(2)
+	defer platform.SetDefaultPartitions(0)
+	if got := mk(0).Partitions(); got != 2 {
+		t.Fatalf("process default 2 resolved to %d", got)
+	}
+	if got := mk(1).Partitions(); got != 1 {
+		t.Fatalf("explicit Partitions=1 resolved to %d, want sequential override of the default", got)
+	}
+
+	// On a sequential system the parallel entry points are the scheduled
+	// ones — drive one of each and require lockstep equality.
+	platform.SetDefaultPartitions(0)
+	a, b := mk(1), mk(1)
+	for cycle := 0; cycle < 200; cycle++ {
+		requireSameActivity(t, cycle, a.Snapshot(), b.Snapshot())
+		a.Tick()
+		b.TickParallel()
+	}
+	a.RunParallel(100)
+	b.Run(100)
+	requireSameActivity(t, int(a.Clock.Now()), a.Snapshot(), b.Snapshot())
+}
+
+// TestParallelPublishObs checks the partitioned kernel's observability:
+// the aggregate kernel.* counters stay exactly the sequential set, the
+// partition count is exported as a gauge, and the per-partition ticked
+// counters sum to the aggregate (nothing is double- or under-counted).
+func TestParallelPublishObs(t *testing.T) {
+	registerKernelTestPolicy()
+	topo := noc.Small()
+	seq, par := parParityPair(platform.PolicyWaitQueue, topo, 8, 2)
+	seq.Run(600)
+	par.Run(600)
+
+	seqReg, parReg := obs.NewRegistry(), obs.NewRegistry()
+	seq.PublishObs(seqReg)
+	par.PublishObs(parReg)
+	seqSnap, parSnap := seqReg.Snapshot(), parReg.Snapshot()
+
+	for name, v := range seqSnap.Counters {
+		if pv := parSnap.Counter(name); pv != v {
+			t.Fatalf("counter %s: seq=%d par=%d", name, v, pv)
+		}
+	}
+	if got := parSnap.Gauges["kernel.partitions"]; got != 2 {
+		t.Fatalf("kernel.partitions gauge = %d, want 2", got)
+	}
+	for _, phase := range []string{"slots", "routers", "banks", "deliv"} {
+		var sum uint64
+		for p := 0; p < 2; p++ {
+			sum += parSnap.Counter(fmt.Sprintf("kernel.part.%d.%s.ticked", p, phase))
+		}
+		if agg := parSnap.Counter("kernel." + phase + ".ticked"); sum != agg {
+			t.Fatalf("%s: per-partition sum %d != aggregate %d", phase, sum, agg)
+		}
+	}
+}

@@ -5,6 +5,10 @@
 package platform
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bus"
 	"repro/internal/colibri"
 	"repro/internal/cpu"
@@ -29,6 +33,50 @@ type Config struct {
 	// Unknown policy-specific keys are rejected by the policy's
 	// Normalize.
 	PolicyParams PolicyParams
+	// Partitions selects the kernel's parallelism inside this one
+	// simulated system: the tiles (with their cores, Qnodes and banks)
+	// are split into that many contiguous shards, ticked by one OS
+	// thread each and synchronized at deterministic phase barriers.
+	// Results are bit-identical for every value — this is purely a
+	// wall-clock knob. 0 uses the process-wide default (see
+	// SetDefaultPartitions; initially 1, the sequential kernel),
+	// PartitionsAuto picks min(GOMAXPROCS, tiles), and any other value
+	// is clamped to [1, number of tiles].
+	Partitions int
+}
+
+// PartitionsAuto selects one partition per available OS thread, capped
+// at the topology's tile count.
+const PartitionsAuto = -1
+
+// defaultPartitions is the Partitions value used when Config.Partitions
+// is zero. CLIs set it once at startup from their -partitions flag, so
+// every System a run builds — including those constructed deep inside
+// scenario code — picks up the requested parallelism.
+var defaultPartitions atomic.Int32
+
+// SetDefaultPartitions sets the process-wide default partition count
+// applied when Config.Partitions is zero: 1 (or 0) selects the
+// sequential kernel, PartitionsAuto selects min(GOMAXPROCS, tiles),
+// larger values are clamped per topology.
+func SetDefaultPartitions(p int) { defaultPartitions.Store(int32(p)) }
+
+// resolvePartitions maps a Config.Partitions value to the effective
+// partition count for a topology with the given tile count.
+func resolvePartitions(p, tiles int) int {
+	if p == 0 {
+		p = int(defaultPartitions.Load())
+	}
+	if p == PartitionsAuto {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > tiles {
+		p = tiles
+	}
+	return p
 }
 
 // MemPoolConfig returns the paper's 256-core evaluation configuration with
@@ -98,9 +146,22 @@ type System struct {
 	// increments (a few integer adds per Tick, using lengths the loop
 	// already computed). PublishObs pushes deltas into an obs.Registry on
 	// the cold path; per-Tick atomics would dwarf an idle cycle's cost.
+	// Under the partitioned kernel the cycle leader folds per-partition
+	// counts here at every end-of-cycle barrier, so the aggregate is
+	// identical to what the sequential kernel would have counted.
 	Kernel KernelStats
+	// par is the partitioned-kernel state when the resolved
+	// Config.Partitions exceeds one; nil for the sequential kernel. See
+	// parallel.go.
+	par *parKernel
+	// pubMu serializes PublishObs (its delta bookkeeping in lastPub must
+	// not interleave when concurrent runs publish the same System, or
+	// different Systems publish into one registry from racing sweeps).
+	pubMu sync.Mutex
 	// lastPub is the totals already published by PublishObs.
 	lastPub obsTotals
+	// lastPubParts mirrors lastPub per partition.
+	lastPubParts []KernelStats
 }
 
 // KernelStats is the scheduler's own activity accounting, per executed
@@ -172,7 +233,13 @@ func New(cfg Config, progFor ProgramFor) *System {
 	// banks wake when a request reaches their delivery FIFO; the
 	// response-delivery loop wakes when a response reaches a core's
 	// delivery FIFO. (The fabric wired its own router dirty lists in
-	// NewFabric.)
+	// NewFabric.) With more than one partition the same hooks target the
+	// owning partition's sets instead — every BankReq/CoreResp producer
+	// is partition-local, so those sets need no atomics.
+	if p := resolvePartitions(cfg.Partitions, topo.NumTiles()); p > 1 {
+		s.initPartitions(p)
+		return s
+	}
 	s.slots = engine.NewScheduler(nCores)
 	for c := 0; c < nCores; c++ {
 		s.slots.Wake(c)
@@ -198,6 +265,13 @@ func New(cfg Config, progFor ProgramFor) *System {
 // reconciled lazily, so the observable state evolution — including every
 // Snapshot counter — is cycle-exact against TickDense.
 func (s *System) Tick() {
+	if s.par != nil {
+		// Partitioned system: run the same barrier-cycle structure
+		// inline on one thread — bit-identical, so per-cycle drivers
+		// (trace sampling, parity tests) work regardless of mode.
+		s.parTickInline()
+		return
+	}
 	now := s.Clock.Now()
 	// Expired PAUSE countdowns rejoin the schedule first, so the core
 	// executes this cycle exactly as under dense ticking.
@@ -309,6 +383,10 @@ func (s *System) busy() bool {
 // cycles are reconciled into the cores' counters, so snapshots are
 // identical to having simulated every cycle.
 func (s *System) Run(n int) {
+	if s.par != nil {
+		s.runPar(n)
+		return
+	}
 	target := s.Clock.Now() + engine.Cycle(n)
 	for s.Clock.Now() < target {
 		if !s.busy() {
@@ -346,6 +424,9 @@ func (s *System) RunDense(n int) {
 // waiting) skips straight to the cycle budget rather than simulating
 // empty cycles.
 func (s *System) RunUntilHalted(maxCycles int) bool {
+	if s.par != nil {
+		return s.runParUntilHalted(maxCycles)
+	}
 	target := s.Clock.Now() + engine.Cycle(maxCycles)
 	for s.Clock.Now() < target {
 		if s.nHalted == len(s.Cores) {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -47,8 +48,30 @@ var binaryFingerprint = sync.OnceValue(func() string {
 // version, experiment kind, topology shape, spec, coordinate, windows).
 // Entries are immutable JSON files; concurrent writers of the same key
 // race benignly to an identical value via atomic rename.
+//
+// Cache traffic counters go to the cache's registry — obs.Default()
+// unless WithRegistry scoped it — so concurrent runs with their own
+// registries don't cross-contaminate each other's hit/miss accounting.
 type Cache struct {
 	dir string
+	reg *obs.Registry // nil = obs.Default()
+}
+
+// WithRegistry returns a view of the cache whose traffic counters go to
+// reg instead of the process-wide default registry. The underlying
+// directory (and so the entries) is shared with the receiver.
+func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
+	cc := *c
+	cc.reg = reg
+	return &cc
+}
+
+// obs returns the registry this cache's counters belong to.
+func (c *Cache) obs() *obs.Registry {
+	if c.reg != nil {
+		return c.reg
+	}
+	return obs.Default()
 }
 
 // DefaultDir returns the user-level cache root (~/.cache/lrscwait on
@@ -76,6 +99,32 @@ func OpenCache(dir string) (*Cache, error) {
 	return &Cache{dir: dir}, nil
 }
 
+// InspectCache opens an existing cache rooted at dir (empty selects
+// DefaultDir) without creating anything on disk — the read-only
+// counterpart of OpenCache for inspection paths like -cache-stats, which
+// must not conjure an empty cache directory as a side effect of asking
+// about one. Returns a "no cache at <dir>" error when the directory does
+// not exist.
+func InspectCache(dir string) (*Cache, error) {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultDir(); err != nil {
+			return nil, err
+		}
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("sweep: no cache at %s", dir)
+		}
+		return nil, fmt.Errorf("sweep: stat cache dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("sweep: no cache at %s (not a directory)", dir)
+	}
+	return &Cache{dir: dir}, nil
+}
+
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
@@ -99,15 +148,15 @@ func (c *Cache) path(key string) string {
 func (c *Cache) Get(key string) (Point, bool) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
-		obs.Default().Counter("sweep.cache.misses").Inc()
+		c.obs().Counter("sweep.cache.misses").Inc()
 		return Point{}, false
 	}
 	var e entry
 	if json.Unmarshal(b, &e) != nil || e.Key != key {
-		obs.Default().Counter("sweep.cache.misses").Inc()
+		c.obs().Counter("sweep.cache.misses").Inc()
 		return Point{}, false
 	}
-	reg := obs.Default()
+	reg := c.obs()
 	reg.Counter("sweep.cache.hits").Inc()
 	reg.Counter("sweep.cache.read_bytes").Add(uint64(len(b)))
 	return e.Point, true
@@ -138,9 +187,13 @@ func (c *Cache) Put(key string, p Point) error {
 		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		// Without this the temp file outlives the failed store and
+		// accumulates in the shard directory (Stats reaps stale ones as
+		// a backstop, but don't create the garbage in the first place).
+		os.Remove(tmp.Name())
 		return err
 	}
-	reg := obs.Default()
+	reg := c.obs()
 	reg.Counter("sweep.cache.stores").Inc()
 	reg.Counter("sweep.cache.store_bytes").Add(uint64(len(b)))
 	return nil
@@ -154,6 +207,14 @@ type CacheStats struct {
 	Entries    int    `json:"entries"`
 	TotalBytes int64  `json:"totalBytes"`
 
+	// Orphaned write-temp files (.tmp-*) found in the cache tree: the
+	// residue of interrupted or failed stores. Stale ones (older than
+	// tempMaxAge — a live write holds its temp file for milliseconds)
+	// are removed during the scan and counted in TempReaped.
+	TempFiles  int   `json:"tempFiles,omitempty"`
+	TempBytes  int64 `json:"tempBytes,omitempty"`
+	TempReaped int   `json:"tempReaped,omitempty"`
+
 	Hits       uint64 `json:"hits"`
 	Misses     uint64 `json:"misses"`
 	Stores     uint64 `json:"stores"`
@@ -161,16 +222,35 @@ type CacheStats struct {
 	StoreBytes uint64 `json:"storeBytes"`
 }
 
+// tempMaxAge is how old a .tmp-* file must be before Stats treats it as
+// orphaned rather than an in-flight write and reaps it.
+const tempMaxAge = time.Hour
+
 // Stats walks the cache directory counting entries and bytes, and folds
-// in the process-wide cache counters. Temp files from in-flight writes
-// are skipped.
+// in this cache's registry counters. Orphaned write-temp files are
+// counted, and stale ones reaped.
 func (c *Cache) Stats() (CacheStats, error) {
 	st := CacheStats{Dir: c.dir}
 	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			st.TempFiles++
+			st.TempBytes += info.Size()
+			if time.Since(info.ModTime()) > tempMaxAge && os.Remove(path) == nil {
+				st.TempReaped++
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".json") {
 			return nil
 		}
 		info, err := d.Info()
@@ -184,7 +264,7 @@ func (c *Cache) Stats() (CacheStats, error) {
 	if err != nil {
 		return CacheStats{}, fmt.Errorf("sweep: scan cache: %w", err)
 	}
-	snap := obs.Default().Snapshot()
+	snap := c.obs().Snapshot()
 	st.Hits = snap.Counter("sweep.cache.hits")
 	st.Misses = snap.Counter("sweep.cache.misses")
 	st.Stores = snap.Counter("sweep.cache.stores")
@@ -193,10 +273,17 @@ func (c *Cache) Stats() (CacheStats, error) {
 	return st, nil
 }
 
-// Summary renders the stats as the -cache-stats report.
+// Summary renders the stats as the -cache-stats report. The temp-file
+// line appears only when there was something to report, so the common
+// clean-cache output is unchanged.
 func (st CacheStats) Summary() string {
-	return fmt.Sprintf("cache %s: %d entries, %d bytes on disk\n"+
+	s := fmt.Sprintf("cache %s: %d entries, %d bytes on disk\n"+
 		"this process: %d hits, %d misses, %d stores (%d bytes read, %d bytes written)",
 		st.Dir, st.Entries, st.TotalBytes,
 		st.Hits, st.Misses, st.Stores, st.ReadBytes, st.StoreBytes)
+	if st.TempFiles > 0 {
+		s += fmt.Sprintf("\norphaned temp files: %d (%d bytes), %d stale reaped",
+			st.TempFiles, st.TempBytes, st.TempReaped)
+	}
+	return s
 }

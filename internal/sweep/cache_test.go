@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCachePutRenameFailureCleansTemp pins the temp-file leak fix: when
+// the final rename fails (here: the destination path is occupied by a
+// directory), Put must report the error AND remove its temp file instead
+// of leaving .tmp-* garbage in the shard directory.
+func TestCachePutRenameFailureCleansTemp(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "rename-failure-key"
+	dest := c.path(key)
+	if err := os.MkdirAll(dest, 0o755); err != nil { // squat the destination
+		t.Fatal(err)
+	}
+	if err := c.Put(key, Point{X: 1}); err == nil {
+		t.Fatal("Put over a directory-squatted destination should fail")
+	}
+	tmps, err := filepath.Glob(filepath.Join(filepath.Dir(dest), ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("failed Put leaked temp files: %v", tmps)
+	}
+}
+
+// TestCacheStatsTempFiles checks the orphan accounting: Stats counts
+// .tmp-* residue, reaps only stale files (older than tempMaxAge), and
+// reports both without disturbing real entries.
+func TestCacheStatsTempFiles(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("some-key", Point{X: 7}); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(c.path("some-key"))
+	stale := filepath.Join(shard, ".tmp-stale")
+	fresh := filepath.Join(shard, ".tmp-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d, want 1", st.Entries)
+	}
+	if st.TempFiles != 2 || st.TempReaped != 1 {
+		t.Fatalf("TempFiles=%d TempReaped=%d, want 2 and 1", st.TempFiles, st.TempReaped)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file should have been reaped")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file (in-flight write) must survive the scan")
+	}
+	if !strings.Contains(st.Summary(), "orphaned temp files: 2") {
+		t.Fatalf("Summary missing temp-file line:\n%s", st.Summary())
+	}
+	// A clean cache keeps the two-line summary of before.
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.TempFiles != 1 { // the fresh one is still there
+		t.Fatalf("second scan TempFiles = %d, want 1", st2.TempFiles)
+	}
+}
+
+// TestInspectCacheReadOnly pins the -cache-stats side-effect fix:
+// inspecting a cache that does not exist must report it — not create the
+// directory the way OpenCache does.
+func TestInspectCacheReadOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	if _, err := InspectCache(dir); err == nil || !strings.Contains(err.Error(), "no cache at") {
+		t.Fatalf("InspectCache(missing) err = %v, want 'no cache at'", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("InspectCache created the cache directory as a side effect")
+	}
+
+	// An existing cache inspects fine and Stats sees its entries.
+	real, err := OpenCache(filepath.Join(t.TempDir(), "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Put("k", Point{X: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := InspectCache(real.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ins.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("inspected Entries = %d, want 1", st.Entries)
+	}
+
+	if c, err := InspectCacheFlag("off"); c != nil || err != nil {
+		t.Fatalf("InspectCacheFlag(off) = %v, %v; want nil, nil", c, err)
+	}
+}
+
+// TestConcurrentRunnersIsolatedRegistries is the regression test for
+// cross-contaminated run metrics: two RunAll calls executing
+// concurrently, each scoped to its own registry via Runner.Obs, must
+// account their points and cache traffic entirely in their own registry
+// — exactly as many points as each run had, no bleed-through.
+func TestConcurrentRunnersIsolatedRegistries(t *testing.T) {
+	type run struct {
+		reg   *obs.Registry
+		cache *Cache
+		st    RunStats
+		err   error
+	}
+	runs := [2]*run{}
+	for i := range runs {
+		cache, err := OpenCache(filepath.Join(t.TempDir(), "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = &run{reg: obs.NewRegistry(), cache: cache}
+	}
+	var wg sync.WaitGroup
+	for i, r := range runs {
+		wg.Add(1)
+		go func(i int, r *run) {
+			defer wg.Done()
+			runner := Runner{Workers: 1, Cache: r.cache, Obs: r.reg}
+			_, r.st, r.err = runner.RunAll([]Job{testJob(Fig6)})
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range runs {
+		if r.err != nil {
+			t.Fatalf("run %d: %v", i, r.err)
+		}
+		snap := r.reg.Snapshot()
+		if got := snap.Counter("sweep.points.total"); got != uint64(r.st.Units) {
+			t.Fatalf("run %d: sweep.points.total = %d, want its own %d units", i, got, r.st.Units)
+		}
+		// Cold cache: every simulated unit stored, none served.
+		if got := snap.Counter("sweep.cache.stores"); got != uint64(r.st.Executed) {
+			t.Fatalf("run %d: sweep.cache.stores = %d, want %d", i, got, r.st.Executed)
+		}
+		if got := snap.Counter("sweep.cache.hits"); got != 0 {
+			t.Fatalf("run %d: sweep.cache.hits = %d on a cold cache", i, got)
+		}
+		// RunStats.Metrics is the scoped diff — same isolation.
+		if got := r.st.Metrics.Counter("sweep.points.total"); got != uint64(r.st.Units) {
+			t.Fatalf("run %d: Metrics sweep.points.total = %d, want %d", i, got, r.st.Units)
+		}
+	}
+}

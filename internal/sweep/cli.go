@@ -143,6 +143,21 @@ func OpenCacheFlag(v string, defaultOn bool) (*Cache, error) {
 	}
 }
 
+// InspectCacheFlag resolves a -cache flag value for read-only
+// inspection: same spelling as OpenCacheFlag, but the cache directory is
+// never created — asking for stats on a cache that does not exist
+// reports "no cache at <dir>" instead of conjuring an empty one.
+func InspectCacheFlag(v string) (*Cache, error) {
+	switch v {
+	case "off", "none":
+		return nil, nil
+	case "", "on", "default":
+		return InspectCache("")
+	default:
+		return InspectCache(v)
+	}
+}
+
 // Fatal prints a tool-prefixed error to stderr and exits 2. Engine
 // errors already carry the "sweep: " package prefix; it is stripped so
 // every front end reports "tool: message" uniformly.

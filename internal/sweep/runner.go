@@ -74,6 +74,15 @@ type Runner struct {
 	// Progress, when non-nil, is invoked once per finished point. It may
 	// be called concurrently from worker goroutines.
 	Progress func(Event)
+	// Obs, when non-nil, scopes the run's sweep counters, timers and
+	// RunStats.Metrics to this registry instead of the process-wide
+	// obs.Default() — required when several RunAll calls run concurrently
+	// in one process, whose metrics would otherwise cross-contaminate. A
+	// Cache without its own registry inherits this one for the run.
+	// (Kernel counters published by the experiments themselves still go
+	// to the default registry; only the sweep engine's own accounting —
+	// points, cache traffic, timers — is scoped here.)
+	Obs *obs.Registry
 }
 
 // Run executes one job. See RunAll.
@@ -91,7 +100,14 @@ func (r *Runner) Run(job Job) (*Result, RunStats, error) {
 // Results are assembled in job order with engine-defined series/point
 // order — output never depends on scheduling.
 func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
-	reg := obs.Default()
+	reg := r.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	cache := r.Cache
+	if cache != nil && cache.reg == nil {
+		cache = cache.WithRegistry(reg)
+	}
 	before := reg.Snapshot()
 	start := time.Now()
 	results := make([]*Result, len(jobs))
@@ -140,7 +156,10 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 	busy := make([]time.Duration, nWorkers)
 	var busyMu sync.Mutex
 	timings := make([]PointTiming, len(units))
-	ffSaved := reg.Counter("kernel.ff.cycles_saved")
+	// Kernel counters are published to the default registry by the
+	// experiments themselves, so the fast-forward sample reads from
+	// there even when the run's own accounting is scoped via Obs.
+	ffSaved := obs.Default().Counter("kernel.ff.cycles_saved")
 	pointWall := reg.Timer("sweep.point.wall")
 	queueWait := reg.Timer("sweep.queue.wait")
 
@@ -151,17 +170,17 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 		queueWait.Observe(unitStart)
 		var p Point
 		cached := false
-		if r.Cache != nil && u.key != "" {
-			p, cached = r.Cache.Get(u.key)
+		if cache != nil && u.key != "" {
+			p, cached = cache.Get(u.key)
 		}
 		if !cached {
 			p = u.run()
 			if u.sim {
 				executed.Add(1)
 			}
-			if r.Cache != nil && u.key != "" {
+			if cache != nil && u.key != "" {
 				// Best-effort: a failed write only costs a future re-run.
-				_ = r.Cache.Put(u.key, p)
+				_ = cache.Put(u.key, p)
 			}
 		} else {
 			hits.Add(1)

@@ -38,7 +38,7 @@ func kernelTopos() []struct {
 // arithmetic forever (never releasing), while every other core sleeps in
 // the bank's wait queue — the paper's polling-free wait, with N-1 of N
 // cores contributing zero traffic.
-func sleeperSystem(topo noc.Topology) *platform.System {
+func sleeperSystem(topo noc.Topology, parts int) *platform.System {
 	prog := func() *isa.Program {
 		b := isa.NewBuilder()
 		b.Li(isa.A0, 0)
@@ -48,34 +48,40 @@ func sleeperSystem(topo noc.Topology) *platform.System {
 		b.J("spin")
 		return b.MustBuild()
 	}()
-	cfg := platform.Config{Topo: topo, Policy: platform.PolicyWaitQueue}
+	cfg := platform.Config{Topo: topo, Policy: platform.PolicyWaitQueue, Partitions: parts}
 	return platform.New(cfg, platform.SameProgram(prog))
 }
 
 // hotSystem builds the traffic-heavy counterpart: every core hammers the
 // AMO histogram continuously, so nothing ever sleeps and the scheduler
 // can skip no one — its bookkeeping overhead against the dense loop.
-func hotSystem(topo noc.Topology) *platform.System {
+func hotSystem(topo noc.Topology, parts int) *platform.System {
 	lay := platform.NewLayout(0)
 	hist := kernels.NewHistLayout(lay, 256, topo.NumCores())
 	prog := kernels.HistogramProgram(kernels.HistAmoAdd, hist, 0, 0)
-	cfg := platform.Config{Topo: topo, Policy: platform.PolicyPlain}
+	cfg := platform.Config{Topo: topo, Policy: platform.PolicyPlain, Partitions: parts}
 	return platform.New(cfg, platform.SameProgram(prog))
 }
 
-// benchTickKernels measures simulated cycles/second of the scheduled and
-// dense loops on the same prebuilt workload.
-func benchTickKernels(b *testing.B, build func(noc.Topology) *platform.System, cyclesPerIter int) {
+// benchTickKernels measures simulated cycles/second of the scheduled,
+// dense and partitioned loops on the same prebuilt workload. The par
+// variants shard the system across OS threads (auto = min(GOMAXPROCS,
+// tiles); par8 pins eight partitions for cross-host comparability) —
+// bit-identical results, so the only interesting number is the rate.
+func benchTickKernels(b *testing.B, build func(noc.Topology, int) *platform.System, cyclesPerIter int) {
 	for _, tc := range kernelTopos() {
 		for _, k := range []struct {
-			name string
-			run  func(sys *platform.System, n int)
+			name  string
+			parts int
+			run   func(sys *platform.System, n int)
 		}{
-			{"kernel=sched", func(sys *platform.System, n int) { sys.Run(n) }},
-			{"kernel=dense", func(sys *platform.System, n int) { sys.RunDense(n) }},
+			{"kernel=sched", 0, func(sys *platform.System, n int) { sys.Run(n) }},
+			{"kernel=dense", 0, func(sys *platform.System, n int) { sys.RunDense(n) }},
+			{"kernel=par", platform.PartitionsAuto, func(sys *platform.System, n int) { sys.RunParallel(n) }},
+			{"kernel=par8", 8, func(sys *platform.System, n int) { sys.RunParallel(n) }},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", tc.name, k.name), func(b *testing.B) {
-				sys := build(tc.topo)
+				sys := build(tc.topo, k.parts)
 				// Settle the workload (grants delivered, sleepers
 				// parked) on the loop under test before timing.
 				k.run(sys, 500)
@@ -118,13 +124,13 @@ func BenchmarkTickInstrumented(b *testing.B) {
 	for _, tc := range kernelTopos() {
 		for _, w := range []struct {
 			name  string
-			build func(noc.Topology) *platform.System
+			build func(noc.Topology, int) *platform.System
 		}{
 			{"load=sleepers", sleeperSystem},
 			{"load=hot", hotSystem},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", tc.name, w.name), func(b *testing.B) {
-				sys := w.build(tc.topo)
+				sys := w.build(tc.topo, 0)
 				reg := obs.NewRegistry()
 				sys.Run(500)
 				b.ResetTimer()

@@ -79,6 +79,17 @@ type (
 	AreaModel = area.Model
 )
 
+// PartitionsAuto, as Config.Partitions or SetDefaultPartitions value,
+// shards each system across min(GOMAXPROCS, tiles) OS threads. Any
+// partition count produces bit-identical results; it is purely a
+// wall-clock knob.
+const PartitionsAuto = platform.PartitionsAuto
+
+// SetDefaultPartitions sets the process-wide default kernel partition
+// count used when Config.Partitions is zero (0 restores the sequential
+// default).
+func SetDefaultPartitions(p int) { platform.SetDefaultPartitions(p) }
+
 // ABI register aliases for kernel construction.
 const (
 	Zero = isa.Zero
