@@ -33,9 +33,24 @@
 //	      [-params 'key=value ...']
 //	      [-warmup N] [-measure N] [-matn N] [-ms]
 //	      [-workers N] [-partitions N|-1] [-cache DIR|on|off] [-json DIR] [-csvdir DIR]
+//	      [-backend disk|http=URL|tiered=URL]
 //	      [-csv] [-quiet]
 //	      [-manifest FILE] [-trace FILE] [-obs] [-cache-stats]
+//	      [-cache-gc -cache-max-bytes SIZE]
 //	      [-cpuprofile FILE] [-memprofile FILE]
+//	sweep serve  [-addr :8080] [-backend ...] [-cache ...] [-workers N] [-quiet]
+//	sweep worker -join URL [-workers N] [-max-points N] [-wait DUR]
+//	             [-idle-exit DUR] [-name NAME] [-quiet]
+//
+// Service mode (package internal/fabric): `sweep serve` runs a
+// long-lived node answering GET /v1/kind/{name}?format=json|csv|table
+// from the warm cache — computing on miss exactly once however many
+// clients ask concurrently, with cache-key-derived ETags so conditional
+// re-fetches cost a 304 — and coordinating `sweep worker` machines that
+// lease grid points over HTTP. The -backend flag points any mode at a
+// remote node's cache ("http=URL") or layers the local disk cache in
+// front of one ("tiered=URL"). -cache-gc bounds the disk cache by
+// evicting least-recently-used points down to -cache-max-bytes.
 //
 // Observability: -manifest writes a JSON run manifest (job spec hashes,
 // environment, per-point timings, full metric snapshot) next to the
@@ -97,6 +112,18 @@ func splitList(s string) []string {
 }
 
 func main() {
+	// Service subcommands dispatch before ordinary flag parsing; the
+	// classic one-shot CLI keeps its exact flag surface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "worker":
+			runWorker(os.Args[2:])
+			return
+		}
+	}
 	figs := flag.String("fig", "", "figures to regenerate (comma-separated subset of 3,4,5,6)")
 	tables := flag.String("table", "", "tables to regenerate (comma-separated subset of 1,2)")
 	kinds := flag.String("kind", "", "scenarios by registered name (comma-separated; see -list-kinds)")
@@ -115,6 +142,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	partitions := flag.Int("partitions", 0, "kernel partitions per simulated system: 0 = sequential kernel, -1 = min(GOMAXPROCS, tiles), N = N OS threads per point (results are bit-identical for any value)")
 	cacheFlag := flag.String("cache", "", "point cache: directory, \"on\" (default, ~/.cache/lrscwait) or \"off\"")
+	backendFlag := flag.String("backend", "", "point store: \"disk\" (default, the -cache directory), \"http=URL\" (a `sweep serve` node) or \"tiered=URL\" (disk in front of remote)")
+	cacheGC := flag.Bool("cache-gc", false, "evict least-recently-used point-cache entries down to -cache-max-bytes (standalone with no selection, or after the run)")
+	cacheMaxBytes := flag.String("cache-max-bytes", "", "cache size budget for -cache-gc: bytes, optionally suffixed K/M/G/T (e.g. 512M)")
 	jsonDir := flag.String("json", "", "also write one deterministic <kind>.json per result into this directory")
 	csv := flag.Bool("csv", false, "emit CSV to stdout instead of an aligned table (single selection only)")
 	csvDir := flag.String("csvdir", "", "also write one <kind>.csv per result into this directory")
@@ -167,22 +197,42 @@ func main() {
 	if *all {
 		figSel, tableSel = []string{"3", "4", "5", "6"}, []string{"1", "2"}
 	}
+	gcBudget := int64(-1)
+	if *cacheGC {
+		if *cacheMaxBytes == "" {
+			fail("-cache-gc needs -cache-max-bytes (0 evicts everything)")
+		}
+		var err error
+		if gcBudget, err = parseSize(*cacheMaxBytes); err != nil {
+			fail("%v", err)
+		}
+	}
+
 	if len(figSel) == 0 && len(tableSel) == 0 && len(kindSel) == 0 {
-		if *cacheStats {
-			// Standalone cache inspection: no sweep, just the report —
-			// read-only, so a missing cache is reported, not created.
+		if *cacheStats || *cacheGC {
+			// Standalone cache maintenance: no sweep, just the report —
+			// a missing cache is reported, not created.
 			cache, err := sweep.InspectCacheFlag(*cacheFlag)
 			if err != nil {
 				fail("%v", err)
 			}
 			if cache == nil {
-				fail("-cache-stats with caching disabled (-cache off)")
+				fail("cache maintenance with caching disabled (-cache off)")
 			}
-			st, err := cache.Stats()
-			if err != nil {
-				fail("%v", err)
+			if *cacheGC {
+				gst, err := cache.GC(gcBudget)
+				if err != nil {
+					fail("%v", err)
+				}
+				fmt.Println(gst.Summary())
 			}
-			fmt.Println(st.Summary())
+			if *cacheStats {
+				st, err := cache.Stats()
+				if err != nil {
+					fail("%v", err)
+				}
+				fmt.Println(st.Summary())
+			}
 			return
 		}
 		fail("nothing selected; use -fig, -table, -kind or -all (see -help)")
@@ -283,16 +333,16 @@ func main() {
 		}
 	}
 
-	cache, err := sweep.OpenCacheFlag(*cacheFlag, true)
+	backend, cache, err := openBackend(*backendFlag, *cacheFlag)
 	if err != nil {
-		if *cacheFlag != "" {
-			// The user asked for this cache location; failing it is an error.
+		if *backendFlag != "" || *cacheFlag != "" {
+			// The user asked for this store; failing it is an error.
 			fail("%v", err)
 		}
 		// The default cache is a convenience: degrade to an uncached run
 		// (e.g. no writable home directory) rather than refusing to sweep.
 		fmt.Fprintf(os.Stderr, "sweep: cache disabled: %v\n", err)
-		cache = nil
+		backend, cache = nil, nil
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -303,7 +353,7 @@ func main() {
 			fail("%v", err)
 		}
 	}
-	runner := sweep.Runner{Workers: *workers, Cache: cache}
+	runner := sweep.Runner{Workers: *workers, Cache: backend}
 	var flush func()
 	if !*quiet {
 		runner.Progress, flush = sweep.ProgressPrinter(os.Stderr)
@@ -377,9 +427,20 @@ func main() {
 	if *obsDump {
 		fmt.Fprint(os.Stderr, st.Metrics.String())
 	}
+	if *cacheGC {
+		if cache == nil {
+			fmt.Fprintln(os.Stderr, "sweep: no disk cache in use, nothing to gc")
+		} else {
+			gst, err := cache.GC(gcBudget)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintln(os.Stderr, "sweep: "+gst.Summary())
+		}
+	}
 	if *cacheStats {
 		if cache == nil {
-			fmt.Fprintln(os.Stderr, "sweep: no cache in use, no cache statistics")
+			fmt.Fprintln(os.Stderr, "sweep: no disk cache in use, no cache statistics")
 		} else {
 			cs, err := cache.Stats()
 			if err != nil {

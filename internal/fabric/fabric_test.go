@@ -1,0 +1,582 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Reduced windows keep every test on the 16-core topology fast while
+// still running real simulations (mirrors the sweep package's own
+// suite).
+const (
+	testWarmup  = 300
+	testMeasure = 1500
+)
+
+// testQuery builds the /v1/kind query for a kind at test scale.
+func testQuery(kind sweep.Kind) url.Values {
+	q := url.Values{}
+	q.Set("topo", "small")
+	q.Set("warmup", "300")
+	q.Set("measure", "1500")
+	switch kind {
+	case sweep.Fig3, sweep.Fig4:
+		q.Set("bins", "1,4")
+	case sweep.Fig5:
+		q.Set("bins", "1")
+		q.Set("matn", "16")
+	}
+	return q
+}
+
+// testJob is the local-runner equivalent of testQuery.
+func testJob(kind sweep.Kind) sweep.Job {
+	j := sweep.Job{Kind: kind, Topo: "small", Warmup: testWarmup, Measure: testMeasure}
+	switch kind {
+	case sweep.Fig3, sweep.Fig4:
+		j.Bins = []int{1, 4}
+	case sweep.Fig5:
+		j.Bins = []int{1}
+		j.MatN = 16
+	}
+	return j
+}
+
+func newDiskCache(t *testing.T) *sweep.Cache {
+	t.Helper()
+	c, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func get(t *testing.T, rawURL string, hdr http.Header) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestServeColdWarmConditional is the service's core contract: a cold
+// GET computes (miss), an identical warm GET serves byte-identical
+// output with zero simulations executed (hit), and a conditional
+// re-fetch against the returned ETag costs a 304 with no body.
+func TestServeColdWarmConditional(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(newDiskCache(t), WithRegistry(reg), WithWorkers(4))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	u := ts.URL + "/v1/kind/fig6?" + testQuery(sweep.Fig6).Encode()
+
+	resp, cold := get(t, u, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold GET: %s\n%s", resp.Status, cold)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("cold GET returned no ETag")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("fabric.misses") != 1 || snap.Counter("fabric.hits") != 0 {
+		t.Fatalf("after cold GET: misses=%d hits=%d, want 1/0",
+			snap.Counter("fabric.misses"), snap.Counter("fabric.hits"))
+	}
+	executedCold := snap.Counter("sweep.points.executed")
+	if executedCold == 0 {
+		t.Fatal("cold GET executed no simulations")
+	}
+
+	resp, warm := get(t, u, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm GET: %s", resp.Status)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm GET bytes differ from cold GET")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("sweep.points.executed"); got != executedCold {
+		t.Fatalf("warm GET executed %d simulations, want 0", got-executedCold)
+	}
+	if snap.Counter("fabric.hits") != 1 {
+		t.Fatalf("after warm GET: hits=%d, want 1", snap.Counter("fabric.hits"))
+	}
+
+	resp, body := get(t, u, http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: %s, want 304", resp.Status)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	if reg.Snapshot().Counter("fabric.not_modified") != 1 {
+		t.Fatal("fabric.not_modified not counted")
+	}
+
+	// A different format is a different entity: same identity prefix,
+	// different ETag, so the json ETag must not 304 a csv request.
+	resp, _ = get(t, u+"&format=csv", http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv GET with json ETag: %s, want 200", resp.Status)
+	}
+}
+
+// TestServeAllKindsByteIdentity pins the acceptance bar: every built-in
+// kind served over HTTP in every format is byte-identical to the CLI
+// path (the Result emitters on a local Runner).
+func TestServeAllKindsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven full kinds")
+	}
+	cache := newDiskCache(t)
+	srv := NewServer(cache, WithRegistry(obs.NewRegistry()), WithWorkers(4))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, kind := range sweep.Kinds() {
+		runner := sweep.Runner{Workers: 4, Cache: cache, Obs: obs.NewRegistry()}
+		res, _, err := runner.Run(testJob(kind))
+		if err != nil {
+			t.Fatalf("%s: local run: %v", kind, err)
+		}
+		wantJSON, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string][]byte{
+			"json":  wantJSON,
+			"csv":   []byte(res.CSV()),
+			"table": []byte(res.Table().String()),
+		}
+		for format, wantBytes := range want {
+			u := fmt.Sprintf("%s/v1/kind/%s?%s&format=%s", ts.URL, kind, testQuery(kind).Encode(), format)
+			resp, got := get(t, u, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s %s: %s\n%s", kind, format, resp.Status, got)
+			}
+			if !bytes.Equal(got, wantBytes) {
+				t.Errorf("%s %s: HTTP bytes differ from CLI emitter\nhttp:\n%s\ncli:\n%s",
+					kind, format, got, wantBytes)
+			}
+		}
+	}
+}
+
+// slowScenario is an uncacheable single-point scenario whose Run sleeps,
+// widening the coalescing window and counting executions.
+type slowScenario struct {
+	runs atomic.Int64
+}
+
+func (s *slowScenario) Name() string { return "fabrictest-slow" }
+func (s *slowScenario) Normalize(job sweep.Job, topo noc.Topology) (sweep.Job, error) {
+	return job, nil
+}
+func (s *slowScenario) GridAxes() bool { return false }
+func (s *slowScenario) Curves(topo noc.Topology, job sweep.Job) ([]sweep.Curve, error) {
+	return []sweep.Curve{{
+		Name:      "slow",
+		NumPoints: 1,
+		Run: func(g sweep.GridCoord, pt int) sweep.Point {
+			s.runs.Add(1)
+			time.Sleep(500 * time.Millisecond)
+			return sweep.Point{X: 1, Throughput: 42}
+		},
+	}}, nil
+}
+
+var slowSc = func() *slowScenario {
+	s := &slowScenario{}
+	sweep.MustRegister(s)
+	return s
+}()
+
+// TestServeCoalescing is the singleflight contract: N concurrent
+// identical cold requests perform exactly one computation; the joiners
+// count under fabric.coalesced and return the same bytes.
+func TestServeCoalescing(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(newDiskCache(t), WithRegistry(reg), WithWorkers(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	slowSc.runs.Store(0)
+
+	const n = 4
+	u := ts.URL + "/v1/kind/" + slowSc.Name() + "?topo=small"
+	start := make(chan struct{})
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, body := get(t, u, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: %s", i, resp.Status)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := slowSc.runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests ran the scenario %d times, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("coalesced response %d differs from leader's", i)
+		}
+	}
+	if got := reg.Snapshot().Counter("fabric.coalesced"); got != n-1 {
+		t.Fatalf("fabric.coalesced = %d, want %d", got, n-1)
+	}
+}
+
+// TestServeDegradedRemoteDown is the graceful-degradation contract: a
+// server whose backend is an unreachable remote still answers correctly
+// by computing locally, and counts the degradation.
+func TestServeDegradedRemoteDown(t *testing.T) {
+	reg := obs.NewRegistry()
+	// 127.0.0.1:1 refuses connections immediately; one attempt keeps
+	// the retry budget cheap.
+	dead := NewRemote("http://127.0.0.1:1", RemoteRetries(1, time.Millisecond))
+	srv := NewServer(dead, WithRegistry(reg), WithWorkers(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// table2's rows are cacheable simulated points, so the dead remote
+	// is actually consulted (table1's rows carry no cache key at all).
+	kind := sweep.TableII
+	resp, got := get(t, ts.URL+"/v1/kind/"+string(kind)+"?"+testQuery(kind).Encode(), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET with dead remote: %s\n%s", resp.Status, got)
+	}
+	runner := sweep.Runner{Workers: 2, Obs: obs.NewRegistry()}
+	res, _, err := runner.Run(testJob(kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded response differs from local compute")
+	}
+	if reg.Snapshot().Counter("fabric.degraded") == 0 {
+		t.Fatal("fabric.degraded not counted")
+	}
+}
+
+// TestWorkerEndToEnd drives the full worker protocol: a worker joins
+// over HTTP, the serve node dispatches a cold job's points to it, the
+// worker computes and publishes them through the shared backend, and
+// the assembled response is byte-identical to a local run.
+func TestWorkerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full distributed run")
+	}
+	sreg := obs.NewRegistry()
+	cache := newDiskCache(t)
+	srv := NewServer(cache, WithRegistry(sreg), WithWorkers(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wreg := obs.NewRegistry()
+	w := &Worker{
+		Coordinator: ts.URL,
+		Name:        "test-worker",
+		Workers:     2,
+		Wait:        200 * time.Millisecond,
+		Obs:         wreg,
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(wctx) }()
+	defer func() {
+		cancel()
+		select {
+		case <-workerDone:
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not exit after cancel")
+		}
+	}()
+
+	// Wait until the worker is parked in a lease poll, so the GET takes
+	// the dispatch path rather than computing in-process.
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.disp.workersPresent() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	kind := sweep.Fig6
+	resp, got := get(t, ts.URL+"/v1/kind/"+string(kind)+"?"+testQuery(kind).Encode(), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dispatched GET: %s\n%s", resp.Status, got)
+	}
+
+	other := obs.NewRegistry()
+	runner := sweep.Runner{Workers: 2, Obs: other}
+	res, _, err := runner.Run(testJob(kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("distributed response differs from local run")
+	}
+	if sreg.Snapshot().Counter("fabric.dispatch.jobs") == 0 {
+		t.Fatal("job was not dispatched")
+	}
+	if wreg.Snapshot().Counter("fabric.worker.points") == 0 {
+		t.Fatal("worker computed no points")
+	}
+}
+
+// TestTieredBackend exercises the layering logic with two disk caches:
+// local miss falls through to remote and back-fills, writes go through
+// to both layers.
+func TestTieredBackend(t *testing.T) {
+	local, remote := newDiskCache(t), newDiskCache(t)
+	reg := obs.NewRegistry()
+	tb := NewTiered(local, remote).ScopedBackend(reg).(*Tiered)
+
+	// Remote-only entry: Get falls through and back-fills local.
+	if err := remote.Put("k1", sweep.Point{X: 7}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := tb.Get("k1")
+	if !ok || p.X != 7 {
+		t.Fatalf("tiered Get(k1) = %+v, %v", p, ok)
+	}
+	if reg.Snapshot().Counter("fabric.tiered.remote_hits") != 1 {
+		t.Fatal("remote hit not counted")
+	}
+	if p, ok := local.Get("k1"); !ok || p.X != 7 {
+		t.Fatal("remote hit did not back-fill the local layer")
+	}
+
+	// Write-through: both layers see the Put.
+	if err := tb.Put("k2", sweep.Point{X: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := local.Get("k2"); !ok {
+		t.Fatal("Put missed the local layer")
+	}
+	if _, ok := remote.Get("k2"); !ok {
+		t.Fatal("Put missed the remote layer")
+	}
+
+	// Local hit never consults the remote counterfeit.
+	if err := local.Put("k3", sweep.Point{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Put("k3", sweep.Point{X: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tb.Get("k3"); p.X != 1 {
+		t.Fatalf("tiered Get(k3).X = %d, want the local layer's 1", p.X)
+	}
+}
+
+// TestRemoteRetryAndDefinitiveMiss pins the client's failure posture:
+// 5xx retries with backoff until success, 404 is a definitive miss with
+// no retry, and Put round-trips.
+func TestRemoteRetryAndDefinitiveMiss(t *testing.T) {
+	var gets atomic.Int64
+	fail := atomic.Bool{}
+	fail.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		key := r.URL.Query().Get("key")
+		if key == "missing" {
+			http.NotFound(w, r)
+			return
+		}
+		if fail.CompareAndSwap(true, false) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(CacheEntry{Key: key, Point: sweep.Point{X: 5}})
+	})
+	var put CacheEntry
+	mux.HandleFunc("PUT /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		json.NewDecoder(r.Body).Decode(&put)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	rem := NewRemote(ts.URL, RemoteRetries(3, time.Millisecond)).ScopedBackend(reg).(*Remote)
+	p, ok := rem.Get("k")
+	if !ok || p.X != 5 {
+		t.Fatalf("Get after transient failure = %+v, %v", p, ok)
+	}
+	if got := gets.Load(); got != 2 {
+		t.Fatalf("transient 500 took %d attempts, want 2", got)
+	}
+
+	gets.Store(0)
+	if _, ok := rem.Get("missing"); ok {
+		t.Fatal("404 reported as a hit")
+	}
+	if got := gets.Load(); got != 1 {
+		t.Fatalf("definitive 404 took %d attempts, want 1 (no retry)", got)
+	}
+	if reg.Snapshot().Counter("fabric.degraded") != 0 {
+		t.Fatal("definitive miss counted as degradation")
+	}
+
+	if err := rem.Put("pk", sweep.Point{X: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if put.Key != "pk" || put.Point.X != 3 {
+		t.Fatalf("Put sent %+v", put)
+	}
+}
+
+// TestDispatcherLeaseExpiry pins the lost-worker path: an unfinished
+// lease expires after its TTL, its tasks requeue, and a second lease
+// (a healthy worker) completes the job. Completing the expired lease
+// afterwards is a harmless no-op.
+func TestDispatcherLeaseExpiry(t *testing.T) {
+	d := newDispatcher(obs.NewRegistry(), 30*time.Millisecond)
+	dj := d.submit("job", sweep.Job{Kind: sweep.Fig6}, []int{0, 1}, []string{"a", "b"})
+
+	lost := d.take(8)
+	if lost == nil || len(lost.Indices) != 2 {
+		t.Fatalf("first lease = %+v", lost)
+	}
+	if l := d.take(8); l != nil {
+		t.Fatalf("queue should be empty while leased, got %+v", l)
+	}
+	time.Sleep(40 * time.Millisecond)
+	d.requeueExpired(time.Now())
+
+	healthy := d.take(8)
+	if healthy == nil || len(healthy.Indices) != 2 {
+		t.Fatalf("post-expiry lease = %+v", healthy)
+	}
+	d.complete(healthy.ID, []int{0, 1})
+	select {
+	case <-dj.done:
+	default:
+		t.Fatal("job not done after healthy completion")
+	}
+	d.complete(lost.ID, []int{0, 1}) // expired ID: ignored
+	if got := len(d.doneIndices(dj)); got != 2 {
+		t.Fatalf("doneIndices = %d, want 2", got)
+	}
+}
+
+// TestSingleflight pins the flight group's basics: concurrent callers
+// of one key share a single execution, and completed flights are
+// forgotten (a later call runs again).
+func TestSingleflight(t *testing.T) {
+	var g flightGroup
+	var runs, entered, sharedCount atomic.Int64
+	release := make(chan struct{})
+	const n = 5
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			v, err, shared := g.do("k", func() (any, error) {
+				runs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("do = %v, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Hold the leader until every caller is at (or in) do, so all five
+	// overlap one execution.
+	for entered.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	if sharedCount.Load() != n-1 {
+		t.Fatalf("shared callers = %d, want %d", sharedCount.Load(), n-1)
+	}
+
+	// Forgotten after completion: a fresh call runs fn again.
+	g.do("k", func() (any, error) { runs.Add(1); return nil, nil })
+	if runs.Load() != 2 {
+		t.Fatal("completed flight was not forgotten")
+	}
+}
+
+// TestJobFromQueryValidation pins the HTTP surface's 400 paths.
+func TestJobFromQueryValidation(t *testing.T) {
+	srv := NewServer(nil, WithRegistry(obs.NewRegistry()))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, tc := range []struct {
+		url  string
+		want string
+	}{
+		{"/v1/kind/nosuchkind", "unknown kind"},
+		{"/v1/kind/fig6?warmup=abc", "bad warmup"},
+		{"/v1/kind/fig6?format=xml", "bad format"},
+		{"/v1/kind/fig6?grid=bogus", "bad grid clause"},
+		{"/v1/kind/fig3?bins=0", "bad bin count"},
+	} {
+		resp, body := get(t, ts.URL+tc.url, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %s, want 400", tc.url, resp.Status)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s: body %q missing %q", tc.url, body, tc.want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"bytes"
+	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -55,7 +57,15 @@ var binaryFingerprint = sync.OnceValue(func() string {
 type Cache struct {
 	dir string
 	reg *obs.Registry // nil = obs.Default()
+
+	// touches is the shared (across WithRegistry views) access recorder
+	// feeding the GC's LRU index. Best-effort: a lost touch only skews
+	// eviction order, never correctness.
+	touches *touchLog
 }
+
+// Name identifies the disk backend (sweep.Backend).
+func (c *Cache) Name() string { return "disk" }
 
 // WithRegistry returns a view of the cache whose traffic counters go to
 // reg instead of the process-wide default registry. The underlying
@@ -64,6 +74,16 @@ func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
 	cc := *c
 	cc.reg = reg
 	return &cc
+}
+
+// ScopedBackend implements RegistryScoped for the runner: a view
+// reporting into reg, unless the cache's registry was already set
+// explicitly (an explicit scope wins over the run's).
+func (c *Cache) ScopedBackend(reg *obs.Registry) Backend {
+	if c.reg != nil {
+		return c
+	}
+	return c.WithRegistry(reg)
 }
 
 // obs returns the registry this cache's counters belong to.
@@ -96,7 +116,12 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: create cache dir: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return newCache(dir), nil
+}
+
+// newCache wires the shared access recorder for a cache rooted at dir.
+func newCache(dir string) *Cache {
+	return &Cache{dir: dir, touches: &touchLog{path: filepath.Join(dir, indexFile)}}
 }
 
 // InspectCache opens an existing cache rooted at dir (empty selects
@@ -122,7 +147,7 @@ func InspectCache(dir string) (*Cache, error) {
 	if !info.IsDir() {
 		return nil, fmt.Errorf("sweep: no cache at %s (not a directory)", dir)
 	}
-	return &Cache{dir: dir}, nil
+	return newCache(dir), nil
 }
 
 // Dir returns the cache root.
@@ -135,21 +160,49 @@ type entry struct {
 	Point Point  `json:"point"`
 }
 
+// hashHex is the cache's filename hash of a key.
+func hashHex(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
 // path maps a key to its file: <dir>/<hh>/<hash>.json, sharded by the
 // first hash byte to keep directories small.
 func (c *Cache) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	h := hex.EncodeToString(sum[:])
+	h := hashHex(key)
 	return filepath.Join(c.dir, h[:2], h+".json")
 }
 
+// gzipThreshold is the marshalled-entry size at which Put compresses.
+// Small entries (the common single-point case, a few hundred bytes)
+// stay plain JSON: readable with cat/jq, and gzip would barely pay for
+// its header. Large sweep payloads shrink several-fold.
+const gzipThreshold = 4 << 10
+
+// gzipMagic is the first two bytes of every gzip stream; Get sniffs it
+// so compressed and pre-compression plain-JSON entries coexist in one
+// cache directory (old caches keep working unchanged).
+var gzipMagic = []byte{0x1f, 0x8b}
+
 // Get loads the point cached under key; ok is false on miss, corruption,
-// or key mismatch.
+// or key mismatch. Entries are transparently decompressed when a
+// previous Put wrote them gzipped.
 func (c *Cache) Get(key string) (Point, bool) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.obs().Counter("sweep.cache.misses").Inc()
 		return Point{}, false
+	}
+	disk := len(b)
+	if bytes.HasPrefix(b, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(b))
+		if err == nil {
+			b, err = io.ReadAll(zr)
+		}
+		if err != nil || zr.Close() != nil {
+			c.obs().Counter("sweep.cache.misses").Inc()
+			return Point{}, false
+		}
 	}
 	var e entry
 	if json.Unmarshal(b, &e) != nil || e.Key != key {
@@ -158,7 +211,8 @@ func (c *Cache) Get(key string) (Point, bool) {
 	}
 	reg := c.obs()
 	reg.Counter("sweep.cache.hits").Inc()
-	reg.Counter("sweep.cache.read_bytes").Add(uint64(len(b)))
+	reg.Counter("sweep.cache.read_bytes").Add(uint64(disk))
+	c.touch(key)
 	return e.Point, true
 }
 
@@ -172,6 +226,14 @@ func (c *Cache) Put(key string, p Point) error {
 	b, err := json.Marshal(entry{Key: key, Point: p})
 	if err != nil {
 		return err
+	}
+	if len(b) >= gzipThreshold {
+		var zb bytes.Buffer
+		zw := gzip.NewWriter(&zb)
+		if _, err := zw.Write(b); err == nil && zw.Close() == nil && zb.Len() < len(b) {
+			b = zb.Bytes()
+			c.obs().Counter("sweep.cache.gzip_stores").Inc()
+		}
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
@@ -196,6 +258,7 @@ func (c *Cache) Put(key string, p Point) error {
 	reg := c.obs()
 	reg.Counter("sweep.cache.stores").Inc()
 	reg.Counter("sweep.cache.store_bytes").Add(uint64(len(b)))
+	c.touch(key)
 	return nil
 }
 

@@ -1,0 +1,85 @@
+package sweep
+
+// Distribution support: the fabric's serve/worker protocol needs to see
+// a job's independent points as an explicit, deterministically ordered
+// work list — point keys a coordinator can hand to worker machines, and
+// a placement map that reassembles their results into the exact Series
+// the in-process pool would have produced. ExpandJob exposes the
+// engine's internal expansion for that purpose without giving up any
+// invariant: items are ordered (series, point) exactly as the runner
+// lays out its units, and Assemble places by index, so a distributed run
+// is byte-identical to a local one.
+
+import "fmt"
+
+// WorkItem is one independent point of an expanded job: its placement
+// (series and point index), its content-hash cache key (empty =
+// uncacheable, e.g. when the binary has no fingerprint or the curve
+// declares no key — such items cannot travel through a shared backend
+// and must be computed by whoever assembles the result), and whether
+// computing it runs a simulation.
+type WorkItem struct {
+	Series int    `json:"series"`
+	Point  int    `json:"point"`
+	Key    string `json:"key,omitempty"`
+	Sim    bool   `json:"sim"`
+
+	run func() Point
+}
+
+// Compute runs the item's measurement. Safe for concurrent use across
+// distinct items; deterministic, so any machine expanding the same
+// normalized job computes the same value.
+func (w WorkItem) Compute() Point { return w.run() }
+
+// ExpandedJob is a normalized job resolved into its series skeleton and
+// flat work-item list — the unit of the fabric's coordinator/worker
+// protocol. Two processes built from the same binary expanding the same
+// normalized job get identical item lists (same order, same keys).
+type ExpandedJob struct {
+	Job    Job
+	Cores  int
+	Items  []WorkItem
+	series []Series
+}
+
+// ExpandJob normalizes j and expands it into its work items.
+func ExpandJob(j Job) (*ExpandedJob, error) {
+	norm, err := j.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	topo, series, units, err := expand(norm)
+	if err != nil {
+		return nil, err
+	}
+	e := &ExpandedJob{Job: norm, Cores: topo.NumCores(), series: series}
+	for _, u := range units {
+		u := u
+		e.Items = append(e.Items, WorkItem{
+			Series: u.si, Point: u.pi, Key: u.key, Sim: u.sim,
+			run: func() Point { return u.run() },
+		})
+	}
+	return e, nil
+}
+
+// Assemble builds the job's Result from one computed point per item
+// (points[i] belongs to Items[i]) and applies the scenario's Finalizer —
+// the same placement-then-finalize sequence the in-process runner
+// performs, so a result assembled from distributed points is
+// byte-identical to a local run's.
+func (e *ExpandedJob) Assemble(points []Point) (*Result, error) {
+	if len(points) != len(e.Items) {
+		return nil, fmt.Errorf("sweep: assemble: %d points for %d items", len(points), len(e.Items))
+	}
+	r := &Result{Job: e.Job, Cores: e.Cores, Series: make([]Series, len(e.series))}
+	for si, s := range e.series {
+		r.Series[si] = Series{Name: s.Name, Grid: s.Grid, Points: make([]Point, len(s.Points))}
+	}
+	for i, it := range e.Items {
+		r.Series[it.Series].Points[it.Point] = points[i]
+	}
+	finalize(r)
+	return r, nil
+}

@@ -1,0 +1,247 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigPoint builds a point whose marshalled entry exceeds gzipThreshold.
+func bigPoint() Point {
+	p := Point{X: 1, Throughput: 3.14}
+	p.Extra = map[string]float64{}
+	for i := 0; i < 400; i++ {
+		p.Extra[fmt.Sprintf("metric_with_a_long_descriptive_name_%03d", i)] = float64(i) * 0.125
+	}
+	return p
+}
+
+// TestCacheGzipRoundTrip pins the transparent-compression contract:
+// large entries are stored gzipped (sniffable by magic bytes on disk)
+// and read back identically; small entries stay plain JSON.
+func TestCacheGzipRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bigPoint()
+	if err := c.Put("big-key", want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.path("big-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, gzipMagic) {
+		t.Fatalf("large entry not gzipped on disk (starts %q)", raw[:2])
+	}
+	got, ok := c.Get("big-key")
+	if !ok {
+		t.Fatal("gzipped entry missed on read-back")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("gzipped entry round-tripped to a different point")
+	}
+
+	// Small entries stay readable plain JSON.
+	if err := c.Put("small-key", Point{X: 2, Throughput: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(c.path("small-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(raw, gzipMagic) {
+		t.Fatal("small entry was gzipped; should stay plain JSON")
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("small entry is not plain JSON: %v", err)
+	}
+}
+
+// TestCacheGzipBackwardCompat pins the migration guarantee: a plain-JSON
+// entry written by a pre-compression cache (simulated by a direct file
+// write) reads back through the sniffing Get unchanged.
+func TestCacheGzipBackwardCompat(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bigPoint() // large enough that a new Put WOULD compress it
+	b, err := json.Marshal(entry{Key: "old-key", Point: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := c.path("old-key")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("old-key")
+	if !ok {
+		t.Fatal("pre-compression plain-JSON entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("plain-JSON entry read back differently")
+	}
+}
+
+// writeIndex replaces the cache's access index with controlled times.
+func writeIndex(t *testing.T, c *Cache, touches map[string]time.Time) {
+	t.Helper()
+	var sb strings.Builder
+	for key, at := range touches {
+		fmt.Fprintf(&sb, "%s %d\n", keyHash(key), at.UnixNano())
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), indexFile), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheGCLRUOrder pins the eviction policy: with a budget that fits
+// only one entry, the two least-recently-used entries go (per the access
+// index) and the most recent survives; the index compacts to the
+// survivor.
+func TestCacheGCLRUOrder(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k-old", "k-mid", "k-new"}
+	for i, k := range keys {
+		if err := c.Put(k, Point{X: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rewrite the index with controlled recency, oldest to newest. Put
+	// just touched all three "now", and GC takes max(index, mtime), so
+	// mtimes must also be pushed back.
+	now := time.Now()
+	writeIndex(t, c, map[string]time.Time{
+		"k-old": now.Add(-3 * time.Hour),
+		"k-mid": now.Add(-2 * time.Hour),
+		"k-new": now.Add(-1 * time.Hour),
+	})
+	old := now.Add(-4 * time.Hour)
+	var entrySize int64
+	for _, k := range keys {
+		if err := os.Chtimes(c.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(c.path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = info.Size()
+	}
+
+	st, err := c.GC(entrySize) // budget: exactly one entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || st.Evicted != 2 {
+		t.Fatalf("GC evicted %d of %d, want 2 of 3\n%s", st.Evicted, st.Entries, st.Summary())
+	}
+	if entries, bytes := st.Remaining(); entries != 1 || bytes != entrySize {
+		t.Fatalf("Remaining() = %d entries, %d bytes; want 1, %d", entries, bytes, entrySize)
+	}
+	if _, ok := c.Get("k-old"); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+	if _, ok := c.Get("k-mid"); ok {
+		t.Fatal("second-least-recently-used entry survived")
+	}
+	if p, ok := c.Get("k-new"); !ok || p.X != 3 {
+		t.Fatalf("most-recent entry evicted (got %+v, %v)", p, ok)
+	}
+	// Index compacted to the survivor.
+	idx := readIndex(filepath.Join(c.Dir(), indexFile))
+	if len(idx) != 1 {
+		t.Fatalf("compacted index has %d entries, want 1", len(idx))
+	}
+	if _, ok := idx[keyHash("k-new")]; !ok {
+		t.Fatal("compacted index lost the survivor")
+	}
+}
+
+// TestCacheGCMtimeFallback pins the pre-index migration path: entries
+// the index has never seen evict by file mtime, oldest first.
+func TestCacheGCMtimeFallback(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", Point{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", Point{X: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// No index at all (pre-index cache): recency is mtime alone.
+	os.Remove(filepath.Join(c.Dir(), indexFile))
+	now := time.Now()
+	if err := os.Chtimes(c.path("a"), now.Add(-2*time.Hour), now.Add(-2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(c.path("b"), now.Add(-1*time.Hour), now.Add(-1*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.path("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.GC(info.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("evicted %d, want 1", st.Evicted)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("older entry survived mtime-ordered GC")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("newer entry evicted")
+	}
+}
+
+// TestCacheGCBudgets pins the edge budgets: negative is an error, zero
+// evicts everything, and a generous budget evicts nothing.
+func TestCacheGCBudgets(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := c.Put("k", Point{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.GC(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("generous budget evicted %d entries", st.Evicted)
+	}
+	st, err = c.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("zero budget evicted %d, want 1", st.Evicted)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived zero-budget GC")
+	}
+}

@@ -69,8 +69,12 @@ type RunStats struct {
 type Runner struct {
 	// Workers is the concurrency; <= 0 selects GOMAXPROCS.
 	Workers int
-	// Cache memoizes points when non-nil.
-	Cache *Cache
+	// Cache memoizes points when non-nil: the local disk *Cache, a
+	// fabric remote or tiered backend, or any other Backend
+	// implementation. (A typed-nil *Cache is treated as nil, so call
+	// sites that conditionally open a disk cache need no interface
+	// gymnastics.)
+	Cache Backend
 	// Progress, when non-nil, is invoked once per finished point. It may
 	// be called concurrently from worker goroutines.
 	Progress func(Event)
@@ -105,8 +109,11 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, RunStats, error) {
 		reg = obs.Default()
 	}
 	cache := r.Cache
-	if cache != nil && cache.reg == nil {
-		cache = cache.WithRegistry(reg)
+	if nilBackend(cache) {
+		cache = nil
+	}
+	if rs, ok := cache.(RegistryScoped); ok {
+		cache = rs.ScopedBackend(reg)
 	}
 	before := reg.Snapshot()
 	start := time.Now()

@@ -35,13 +35,31 @@
 // WriteSweepTrace renders its timeline for chrome://tracing. Custom
 // scenarios and policies mint their own metrics under their own prefix
 // via ObsDefault().Counter("mypkg.thing").
+//
+// # Sweep service
+//
+// The sweep engine also runs as a network service. Its point store is
+// a pluggable SweepBackend — the disk SweepCache, a SweepRemote
+// speaking another node's HTTP cache API (with retries and graceful
+// degradation to local compute), or a SweepTiered combining both. A
+// SweepServer (CLI: `sweep serve`) answers GET /v1/kind/{name}
+// requests byte-identically to the CLI emitters, deduplicates
+// concurrent identical requests through singleflight, serves
+// conditional requests via cache-key ETags, and coordinates
+// SweepWorkers (CLI: `sweep worker -join`) that lease grid points and
+// publish results through the shared backend. Distribution never
+// changes results — the same deterministic assembly runs everywhere.
 package lrscwait
 
 import (
+	"net/http"
+	"time"
+
 	"repro/internal/area"
 	"repro/internal/bus"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
@@ -325,11 +343,18 @@ type (
 	// ColibriQueues × Backoffs) as parsed from the cmd/sweep -grid and
 	// -policy flags.
 	SweepGrid = sweep.Grid
-	// SweepCache memoizes finished points on disk.
+	// SweepBackend is the pluggable point-store seam: anything with
+	// content-keyed Get/Put (SweepCache, SweepRemote, SweepTiered or a
+	// custom store) plugs into SweepRunner.Cache and the service fabric.
+	SweepBackend = sweep.Backend
+	// SweepCache memoizes finished points on disk (the "disk" backend).
 	SweepCache = sweep.Cache
 	// SweepCacheStats is a cache directory's disk footprint plus this
 	// process's hit/miss traffic (SweepCache.Stats).
 	SweepCacheStats = sweep.CacheStats
+	// SweepCacheGCStats reports one SweepCache.GC pass: entries and
+	// bytes scanned, evicted and remaining under the byte budget.
+	SweepCacheGCStats = sweep.GCStats
 	// SweepStats summarizes executed vs cached points of a run,
 	// including per-point timings (Timings), worker utilization and the
 	// run-scoped obs metric snapshot (Metrics).
@@ -431,6 +456,83 @@ func RunSweeps(jobs ...SweepJob) ([]*SweepResult, SweepStats, error) {
 	var r SweepRunner
 	return r.RunAll(jobs)
 }
+
+// Service fabric re-exports: the layer that turns the sweep engine into
+// a network service (`sweep serve` / `sweep worker` are the CLI front
+// ends). A SweepServer answers figure/table requests over HTTP from a
+// warm SweepBackend, computes misses through the engine exactly once
+// regardless of concurrent identical requests (singleflight), and
+// coordinates remote SweepWorkers that lease grid points and publish
+// results through the shared backend. SweepRemote speaks the server's
+// cache API as a Backend (capped-backoff retries; an unreachable peer
+// degrades to computing locally, never an error), and SweepTiered
+// layers a local disk cache in front of it with write-through and
+// read-back-fill. Everything stays deterministic: HTTP responses are
+// byte-identical to the CLI emitters, and work distribution never
+// changes results — only where points are computed.
+type (
+	// SweepServer is the HTTP service node: results API, shared cache
+	// surface, worker coordinator.
+	SweepServer = fabric.Server
+	// SweepServerOption configures NewSweepServer.
+	SweepServerOption = fabric.ServerOption
+	// SweepRemote is the client-side Backend speaking a SweepServer's
+	// cache API.
+	SweepRemote = fabric.Remote
+	// SweepRemoteOption configures NewSweepRemote.
+	SweepRemoteOption = fabric.RemoteOption
+	// SweepTiered is disk-in-front-of-remote: local hits are free,
+	// remote hits back-fill the local layer, Puts write through both.
+	SweepTiered = fabric.Tiered
+	// SweepWorker is the `sweep worker -join` loop: lease points from a
+	// coordinator, compute them locally, publish through the shared
+	// backend.
+	SweepWorker = fabric.Worker
+	// SweepCacheEntry is the wire form of one cached point (the
+	// server's /v1/cache GET/PUT payload).
+	SweepCacheEntry = fabric.CacheEntry
+)
+
+// NewSweepServer builds a service node over backend (nil serves
+// uncached, computing every request). Serve its Handler with
+// net/http.
+func NewSweepServer(backend SweepBackend, opts ...SweepServerOption) *SweepServer {
+	return fabric.NewServer(backend, opts...)
+}
+
+// SweepServerWorkers sets the server's local compute pool width
+// (default GOMAXPROCS).
+func SweepServerWorkers(n int) SweepServerOption { return fabric.WithWorkers(n) }
+
+// SweepServerRegistry scopes the server's fabric.* metrics to reg
+// instead of ObsDefault.
+func SweepServerRegistry(reg *ObsRegistry) SweepServerOption { return fabric.WithRegistry(reg) }
+
+// SweepServerLog routes request/dispatch log lines to f (Printf-shaped).
+func SweepServerLog(f func(format string, args ...any)) SweepServerOption { return fabric.WithLog(f) }
+
+// SweepServerLeaseTTL overrides the worker-lease expiry (default 5m):
+// a leased point not completed within the TTL is re-queued.
+func SweepServerLeaseTTL(ttl time.Duration) SweepServerOption { return fabric.WithLeaseTTL(ttl) }
+
+// NewSweepRemote returns the Backend speaking the cache API of the
+// SweepServer at base ("http://host:8080").
+func NewSweepRemote(base string, opts ...SweepRemoteOption) *SweepRemote {
+	return fabric.NewRemote(base, opts...)
+}
+
+// SweepRemoteHTTPClient overrides the remote backend's HTTP client.
+func SweepRemoteHTTPClient(c *http.Client) SweepRemoteOption { return fabric.RemoteClient(c) }
+
+// SweepRemoteRetries sets the per-request retry budget: attempts total
+// tries with capped exponential backoff starting at backoff.
+func SweepRemoteRetries(attempts int, backoff time.Duration) SweepRemoteOption {
+	return fabric.RemoteRetries(attempts, backoff)
+}
+
+// NewSweepTiered layers local (usually a *SweepCache) in front of
+// remote (usually a *SweepRemote).
+func NewSweepTiered(local, remote SweepBackend) *SweepTiered { return fabric.NewTiered(local, remote) }
 
 // Observability re-exports: the process-wide metrics registry every
 // layer reports into. Kernel counters ("kernel.*") are published by
