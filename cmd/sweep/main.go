@@ -6,10 +6,11 @@
 // tables, RFC 4180 CSV, or deterministic JSON.
 //
 // Selection is registry-driven (-kind, -list-kinds). This stock binary
-// registers the seven paper kinds; a main that additionally calls
-// lrscwait.RegisterScenario before reusing this front end's engine
-// plumbing gets its custom scenarios on the same flags (see
-// examples/customscenario for the library-side walkthrough).
+// registers the seven paper kinds plus the synchronization-pattern
+// suite (barrier, rcu, comblock — internal/patterns); a main that
+// additionally calls lrscwait.RegisterScenario before reusing this
+// front end's engine plumbing gets its custom scenarios on the same
+// flags (see examples/customscenario for the library-side walkthrough).
 //
 // Beyond a scenario's fixed spec sets, the -grid flag turns the policy
 // itself and its parameters into sweep axes: the cross-product of
@@ -19,9 +20,9 @@
 // registered platform policy name (-list-policies prints them; a main
 // that calls lrscwait.RegisterPolicy before this front end's plumbing
 // sweeps its custom hardware on the same flag). -params passes
-// free-form key=value parameters to custom scenarios that define them
-// (the built-in kinds take none, so in the stock binary -params is
-// always an error).
+// free-form key=value parameters to scenarios that define them — the
+// pattern kinds ('wait=mwait variant=tree', 'maxcombine=8') and custom
+// scenarios; the figure/table kinds take none.
 //
 // Usage:
 //
@@ -83,6 +84,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	_ "repro/internal/patterns" // register barrier / rcu / comblock
 	"repro/internal/platform"
 	"repro/internal/sweep"
 )
@@ -131,7 +133,7 @@ func main() {
 	listPolicies := flag.Bool("list-policies", false, "print the registered policy names and exit")
 	policyFlag := flag.String("policy", "", "policy axis for figure-style sweeps: registered policy names, comma-separated (see -list-policies); shorthand for -grid 'policy=...'")
 	gridFlag := flag.String("grid", "", "policy grid for figure-style sweeps, e.g. 'policy=lrsc,colibri queuecap=0,1,2,4 colibriq=2,4,8 backoff=0,64'")
-	paramsFlag := flag.String("params", "", "parameters for custom scenarios that define them, e.g. 'kernel=amoadd iters=500' (built-in kinds take none)")
+	paramsFlag := flag.String("params", "", "scenario parameters, e.g. 'wait=mwait variant=tree' for the pattern kinds or 'kernel=amoadd iters=500' for a custom scenario (the figure/table kinds take none)")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	topo := flag.String("topo", "mempool", "topology: terapool (1024 cores), mempool (paper, 256), medium (64), small (16)")
 	binsFlag := flag.String("bins", "", "bin counts for figs 3/4/5 (default: per-figure paper sweep)")
@@ -162,8 +164,19 @@ func main() {
 	platform.SetDefaultPartitions(*partitions)
 
 	if *listKinds {
-		for _, name := range sweep.Names() {
-			fmt.Println(name)
+		names := sweep.Names()
+		width := 0
+		for _, name := range names {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, name := range names {
+			if desc := sweep.Describe(name); desc != "" {
+				fmt.Printf("%-*s  %s\n", width, name, desc)
+			} else {
+				fmt.Println(name)
+			}
 		}
 		return
 	}
@@ -258,11 +271,11 @@ func main() {
 		case sweep.Fig6, sweep.Fig6MS, sweep.TableI, sweep.TableII:
 			// The remaining built-ins sweep fixed coordinates.
 		default:
-			// Custom scenarios get the generic axes and the free-form
-			// parameters; their Normalize decides what they mean. The
-			// built-ins take no parameters, so attaching -params to them
-			// would only fork their cache identity while being silently
-			// ignored.
+			// Pattern kinds and custom scenarios get the generic axes and
+			// the free-form parameters; their Normalize decides what they
+			// mean. The figure/table kinds take no parameters, so attaching
+			// -params to them would only fork their cache identity while
+			// being silently ignored.
 			job.Bins = bins
 			job.MatN = *matN
 			job.Params = params
@@ -313,10 +326,10 @@ func main() {
 		fail("-grid/-policy applies to none of the selected kinds")
 	}
 	if params != nil && !paramsApplied {
-		// Same reasoning as the grid guard: the built-in kinds define no
-		// parameters, so a -params run over them alone would look like a
-		// successful parameterized sweep that never happened.
-		fail("-params applies to none of the selected kinds (the built-in kinds take no parameters)")
+		// Same reasoning as the grid guard: the figure/table kinds define
+		// no parameters, so a -params run over them alone would look like
+		// a successful parameterized sweep that never happened.
+		fail("-params applies to none of the selected kinds (the figure/table kinds take no parameters)")
 	}
 	if *csv && len(jobs) > 1 {
 		// Concatenated CSV tables with different headers don't parse;

@@ -1,9 +1,15 @@
-// Barrier: a sense-reversing centralized barrier where the waiters sleep
-// on the sense word with Mwait instead of spinning — the "polling even for
-// non-atomic variables" problem the paper's Mwait instruction solves.
+// Barrier: the registered "barrier" sweep scenario through the public
+// facade. The scenario (internal/patterns, re-exported as
+// lrscwait.KindBarrier) sweeps central / tree / butterfly barriers
+// with spinning, backoff-spinning and Mwait-sleeping waiters across
+// core counts — the "polling even for non-atomic variables" problem
+// the paper's Mwait instruction solves shows up directly as the gap
+// between the spin and mwait curves.
 //
-// All cores synchronize through R barrier rounds; between rounds each core
-// bumps a private slot so the run can verify that no core ever raced ahead.
+// This demo is intentionally thin: it declares a SweepJob and lets the
+// engine expand, schedule and render it, exactly like
+// `sweep -kind barrier`. Build barrier kernels directly with
+// lrscwait.BarrierProgram when you need a System of your own.
 //
 // Run with: go run ./examples/barrier
 package main
@@ -15,76 +21,21 @@ import (
 	lrscwait "repro"
 )
 
-const (
-	rounds     = 16
-	countAddr  = 0 // arrivals in the current round
-	senseAddr  = 4 // round parity
-	resultBase = 64
-)
-
-func barrierProgram(nCores int) *lrscwait.Program {
-	b := lrscwait.NewProgram()
-	b.Li(lrscwait.A0, countAddr)
-	b.Li(lrscwait.A1, senseAddr)
-	b.Li(lrscwait.S0, 0) // local sense
-	b.Li(lrscwait.S1, rounds)
-	// My progress slot: resultBase + 4*coreID.
-	b.CoreID(lrscwait.T0)
-	b.Slli(lrscwait.T0, lrscwait.T0, 2)
-	b.Li(lrscwait.T1, resultBase)
-	b.Add(lrscwait.S2, lrscwait.T0, lrscwait.T1)
-	b.Li(lrscwait.S3, 0) // rounds completed
-
-	b.Label("round")
-	// Record progress before arriving.
-	b.Sw(lrscwait.S3, lrscwait.S2, 0)
-	// arrive = amoadd(count, 1) + 1.
-	b.Li(lrscwait.T0, 1)
-	b.AmoAdd(lrscwait.T1, lrscwait.T0, lrscwait.A0)
-	b.Addi(lrscwait.T1, lrscwait.T1, 1)
-	b.Li(lrscwait.T2, int32(nCores))
-	b.Bne(lrscwait.T1, lrscwait.T2, "wait")
-	// Last arrival: reset the counter, flip the sense (releases everyone).
-	b.Sw(lrscwait.Zero, lrscwait.A0, 0)
-	b.Xori(lrscwait.T3, lrscwait.S0, 1)
-	b.Sw(lrscwait.T3, lrscwait.A1, 0)
-	b.J("passed")
-	b.Label("wait")
-	// Sleep until the sense leaves my current value.
-	b.MWait(lrscwait.T3, lrscwait.S0, lrscwait.A1)
-	b.Beq(lrscwait.T3, lrscwait.S0, "wait") // refused: retry
-	b.Label("passed")
-	b.Xori(lrscwait.S0, lrscwait.S0, 1)
-	b.Mark()
-	b.Addi(lrscwait.S3, lrscwait.S3, 1)
-	b.Bne(lrscwait.S3, lrscwait.S1, "round")
-	b.Halt()
-	return b.MustBuild()
-}
-
 func main() {
-	cfg := lrscwait.Config{
-		Topo:   lrscwait.SmallTopology(),
-		Policy: lrscwait.PolicyColibri,
-		// All 15 waiters sleep on one sense word: give the bank
-		// controller enough head/tail pairs for the sense plus
-		// bystander traffic.
-		PolicyParams: lrscwait.PolicyParams{lrscwait.ParamColibriQ: "4"},
+	job := lrscwait.SweepJob{
+		Kind: lrscwait.KindBarrier,
+		Topo: "small",
+		// Defaults otherwise: all three variants, core counts swept in
+		// powers of two up to the topology. Restricting the waiters keeps
+		// the demo quick while preserving the spin-vs-sleep contrast.
+		Params: map[string]string{lrscwait.PatternParamWait: "spin,mwait"},
 	}
-	nCores := cfg.Topo.NumCores()
-	sys := lrscwait.NewSystem(cfg, lrscwait.SameProgram(barrierProgram(nCores)))
-	if !sys.RunUntilHalted(10_000_000) {
-		log.Fatal("barrier: cores did not halt")
+	results, st, err := lrscwait.RunSweeps(job)
+	if err != nil {
+		log.Fatalf("barrier sweep: %v", err)
 	}
-	// Every core completed every round.
-	for c := 0; c < nCores; c++ {
-		if got := sys.ReadWord(resultBase + uint32(4*c)); got != rounds-1 {
-			log.Fatalf("core %d last recorded round = %d, want %d", c, got, rounds-1)
-		}
-	}
-	act := sys.Snapshot()
-	fmt.Printf("%d cores crossed %d barriers in %d cycles (%.0f cycles/barrier)\n",
-		nCores, rounds, act.Cycle, float64(act.Cycle)/rounds)
-	fmt.Printf("waiters slept %d cycles in total — zero polling traffic on the sense word\n",
-		act.SleepCycles)
+	fmt.Print(results[0].Table().String())
+	fmt.Printf("\n%d points simulated in %s (%d workers)\n",
+		st.Executed, st.Elapsed.Round(1_000_000), st.Workers)
+	fmt.Println("lower is better: cycles per barrier crossing, averaged over all participating cores")
 }

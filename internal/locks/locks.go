@@ -20,6 +20,8 @@
 package locks
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 )
 
@@ -178,6 +180,86 @@ func EmitMCSAcquire(b *isa.Builder, prefix string, lockAddr, nodeAddr, tmp0, tmp
 	b.MWait(tmp0, tmp2, nodeAddr)
 	b.Beq(tmp0, tmp2, wait)
 	b.Label(done)
+}
+
+// WaitKind selects how a waiter watches a shared word for change: busy
+// polling, polling with truncated exponential backoff, or the
+// polling-free Mwait sleep. It is the software knob the pattern
+// scenarios sweep — the same axis the paper sweeps in hardware.
+type WaitKind int
+
+const (
+	// WaitSpin polls the word with plain loads every cycle.
+	WaitSpin WaitKind = iota
+	// WaitBackoffSpin polls with truncated exponential backoff between
+	// loads (the package backoff convention).
+	WaitBackoffSpin
+	// WaitMwait sleeps with Mwait until the word changes. Policies that
+	// refuse Mwait respond with the unchanged value, so the enclosing
+	// retry loop degrades to polling — the contract the paper's software
+	// fallback relies on.
+	WaitMwait
+)
+
+// String returns the canonical parameter spelling of the wait kind.
+func (w WaitKind) String() string {
+	switch w {
+	case WaitSpin:
+		return "spin"
+	case WaitBackoffSpin:
+		return "backoff"
+	case WaitMwait:
+		return "mwait"
+	}
+	return fmt.Sprintf("WaitKind(%d)", int(w))
+}
+
+// ParseWaitKind parses the canonical spelling back into a WaitKind.
+func ParseWaitKind(s string) (WaitKind, error) {
+	switch s {
+	case "spin":
+		return WaitSpin, nil
+	case "backoff":
+		return WaitBackoffSpin, nil
+	case "mwait":
+		return WaitMwait, nil
+	}
+	return 0, fmt.Errorf("locks: unknown wait kind %q (want spin, backoff or mwait)", s)
+}
+
+// WaitKinds lists every wait kind in canonical sweep order.
+func WaitKinds() []WaitKind { return []WaitKind{WaitSpin, WaitBackoffSpin, WaitMwait} }
+
+// EmitWaitChange emits: wait until the word at [addr] differs from cmp,
+// leaving the observed value in rd. The three variants share one exit
+// contract (rd != cmp) so callers are wait-kind agnostic. boCur/boCap
+// drive the backoff for WaitBackoffSpin (clobbered; unused otherwise).
+// rd must differ from cmp and addr; cmp and addr are preserved.
+func EmitWaitChange(b *isa.Builder, prefix string, w WaitKind, rd, cmp, addr, boCur, boCap isa.Reg) {
+	loop := prefix + "_wc_loop"
+	done := prefix + "_wc_done"
+	switch w {
+	case WaitSpin:
+		b.Label(loop)
+		b.Lw(rd, addr, 0)
+		b.Beq(rd, cmp, loop)
+	case WaitBackoffSpin:
+		b.Label(loop)
+		b.Lw(rd, addr, 0)
+		b.Bne(rd, cmp, done)
+		EmitExpBackoff(b, prefix+"_wc", boCur, boCap)
+		b.J(loop)
+		b.Label(done)
+		EmitBackoffReset(b, boCur, boCap)
+	case WaitMwait:
+		// A refused Mwait returns the still-unchanged value, so the loop
+		// covers both refusal (degrade to polling) and spurious wake.
+		b.Label(loop)
+		b.MWait(rd, cmp, addr)
+		b.Beq(rd, cmp, loop)
+	default:
+		panic(fmt.Sprintf("locks: EmitWaitChange(%v)", w))
+	}
 }
 
 // EmitMCSRelease emits the MCS release with an LRwait/SCwait CAS on the

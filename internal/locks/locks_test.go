@@ -154,7 +154,7 @@ func TestBackoffMacros(t *testing.T) {
 	b.Li(isa.S4, 64)
 	EmitBackoffReset(b, isa.S9, isa.S4) // 64/4+1 = 17... see below
 	for i := 0; i < 5; i++ {
-		EmitExpBackoff(b, fmt("bo", i), isa.S9, isa.S4)
+		EmitExpBackoff(b, label("bo", i), isa.S9, isa.S4)
 	}
 	b.Halt()
 	cfg := platform.SmallConfig(platform.PolicyPlain)
@@ -176,6 +176,6 @@ func TestBackoffMacros(t *testing.T) {
 	}
 }
 
-func fmt(prefix string, i int) string {
+func label(prefix string, i int) string {
 	return prefix + string(rune('a'+i))
 }

@@ -1,0 +1,257 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/locks"
+	"repro/internal/platform"
+)
+
+// Shared-memory barriers in the three classic topologies (Bertuletti et
+// al.): a central sense-reversing barrier (one counter, one sense word),
+// a binary combining tree (one 2-ary counter node per core pair and
+// level, winner ascends, root flips the shared sense), and a butterfly /
+// dissemination barrier (log2(n) pairwise rounds on monotonic per-core
+// flag counters, no releaser at all). The waiter in each is a
+// locks.EmitWaitChange, so one kernel serves spin, backoff-spin and
+// Mwait-sleep waiters.
+
+// BarrierVariant selects the barrier topology.
+type BarrierVariant int
+
+const (
+	// BarrierCentral: one AMOADD counter + sense-reversing release.
+	BarrierCentral BarrierVariant = iota
+	// BarrierTree: binary combining tree; the last arrival at each node
+	// ascends, the root flips the shared sense.
+	BarrierTree
+	// BarrierButterfly: dissemination rounds on monotonic flag counters;
+	// every core both signals and waits each round.
+	BarrierButterfly
+)
+
+// String returns the canonical parameter spelling of the variant.
+func (v BarrierVariant) String() string {
+	switch v {
+	case BarrierCentral:
+		return "central"
+	case BarrierTree:
+		return "tree"
+	case BarrierButterfly:
+		return "butterfly"
+	}
+	return fmt.Sprintf("BarrierVariant(%d)", int(v))
+}
+
+// ParseBarrierVariant parses the canonical spelling back into a variant.
+func ParseBarrierVariant(s string) (BarrierVariant, error) {
+	switch s {
+	case "central":
+		return BarrierCentral, nil
+	case "tree":
+		return BarrierTree, nil
+	case "butterfly":
+		return BarrierButterfly, nil
+	}
+	return 0, fmt.Errorf("patterns: unknown barrier variant %q (want central, tree or butterfly)", s)
+}
+
+// BarrierVariants lists every variant in canonical sweep order.
+func BarrierVariants() []BarrierVariant {
+	return []BarrierVariant{BarrierCentral, BarrierTree, BarrierButterfly}
+}
+
+// BarrierLayout places the barrier data sections for nActive cores.
+// All words start zeroed, which is every section's initial state — no
+// host-side init is needed.
+type BarrierLayout struct {
+	NActive int
+	Levels  int // log2(NActive), the tree/butterfly round count
+
+	Count uint32 // central: arrival counter (1 word)
+	Sense uint32 // central/tree: shared sense word
+	Tree  uint32 // tree: per-node arrival counters (NActive words)
+	Flags uint32 // butterfly: per-(level, core) flag counters (Levels*NActive words)
+	Slots uint32 // per-core progress slots for the early-pass check (NActive words)
+	Err   uint32 // litmus error word (sticky, 0 = no violation)
+}
+
+// NewBarrierLayout allocates the barrier sections from l.
+func NewBarrierLayout(l *platform.Layout, nActive int) BarrierLayout {
+	if nActive <= 0 {
+		panic(fmt.Sprintf("patterns: nActive %d must be positive", nActive))
+	}
+	lay := BarrierLayout{NActive: nActive, Levels: log2(nActive)}
+	lay.Count = l.Words(1)
+	lay.Sense = l.Words(1)
+	lay.Tree = l.Words(nActive)
+	lay.Flags = l.Words(lay.Levels * nActive)
+	lay.Slots = l.Words(nActive)
+	lay.Err = l.Words(1)
+	return lay
+}
+
+// Barrier register plan (callee-owned, no calls):
+//
+//	a0 variant base (count / tree nodes / flags)
+//	a1 sense addr    a2 slots base     a3 error addr
+//	s0 local sense   s1 nActive        s2 my slot addr   s3 episode
+//	s4 backoff cap   s5 backoff cur    s6 level          s7 core id
+//	t0..t4 scratch
+//
+// BarrierProgram builds the barrier kernel for one active core: publish
+// the episode into the own progress slot, cross the barrier, optionally
+// verify that every active core published this episode (the litmus
+// early-pass check — any slot behind the own episode sets the sticky
+// error word), MARK, repeat. rounds <= 0 builds an endless loop (for
+// throughput windows); otherwise the core halts after rounds episodes.
+// Tree and butterfly require a power-of-two nActive.
+func BarrierProgram(v BarrierVariant, w locks.WaitKind, lay BarrierLayout, backoff int32, rounds int, verify bool) *isa.Program {
+	if v != BarrierCentral && !isPow2(lay.NActive) {
+		panic(fmt.Sprintf("patterns: %s barrier needs a power-of-two core count, got %d", v, lay.NActive))
+	}
+	b := isa.NewBuilder()
+	switch v {
+	case BarrierCentral:
+		b.Li(isa.A0, int32(lay.Count))
+	case BarrierTree:
+		b.Li(isa.A0, int32(lay.Tree))
+	case BarrierButterfly:
+		b.Li(isa.A0, int32(lay.Flags))
+	default:
+		panic(fmt.Sprintf("patterns: BarrierProgram(%v)", v))
+	}
+	b.Li(isa.A1, int32(lay.Sense))
+	b.Li(isa.A2, int32(lay.Slots))
+	b.Li(isa.A3, int32(lay.Err))
+	b.Li(isa.S0, 0)
+	b.Li(isa.S1, int32(lay.NActive))
+	b.CoreID(isa.S7)
+	b.Slli(isa.T0, isa.S7, 2)
+	b.Add(isa.S2, isa.T0, isa.A2)
+	b.Li(isa.S3, 0)
+	b.Li(isa.S4, backoff)
+	locks.EmitBackoffReset(b, isa.S5, isa.S4)
+
+	b.Label("episode")
+	b.Sw(isa.S3, isa.S2, 0) // publish arrival at this episode
+	switch v {
+	case BarrierCentral:
+		emitCentralBarrier(b, w)
+	case BarrierTree:
+		emitTreeBarrier(b, w)
+	case BarrierButterfly:
+		emitButterflyBarrier(b, w, lay.Levels)
+	}
+	b.Label("passed")
+	if v != BarrierButterfly {
+		b.Xori(isa.S0, isa.S0, 1) // local sense for the next episode
+	}
+	if verify {
+		// Early-pass check: every active core must have published this
+		// episode before anyone leaves it.
+		b.Mv(isa.T0, isa.A2)
+		b.Li(isa.T2, 0)
+		b.Label("vfy")
+		b.Lw(isa.T1, isa.T0, 0)
+		b.Bge(isa.T1, isa.S3, "vfy_ok")
+		b.Li(isa.T3, 1)
+		b.Sw(isa.T3, isa.A3, 0)
+		b.Label("vfy_ok")
+		b.Addi(isa.T0, isa.T0, 4)
+		b.Addi(isa.T2, isa.T2, 1)
+		b.Blt(isa.T2, isa.S1, "vfy")
+	}
+	b.Mark()
+	b.Addi(isa.S3, isa.S3, 1)
+	if rounds > 0 {
+		b.Li(isa.T0, int32(rounds))
+		b.Bne(isa.S3, isa.T0, "episode")
+		b.Halt()
+	} else {
+		b.J("episode")
+	}
+	return b.MustBuild()
+}
+
+// emitCentralBarrier: count = amoadd(counter, 1) + 1; the last arrival
+// resets the counter and flips the sense, everyone else waits for the
+// sense to leave the local value.
+func emitCentralBarrier(b *isa.Builder, w locks.WaitKind) {
+	b.Li(isa.T0, 1)
+	b.AmoAdd(isa.T1, isa.T0, isa.A0)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Bne(isa.T1, isa.S1, "c_wait")
+	// Last arrival: reset before release, so next-episode arrivals only
+	// start counting after the flip.
+	b.Sw(isa.Zero, isa.A0, 0)
+	b.Xori(isa.T3, isa.S0, 1)
+	b.Sw(isa.T3, isa.A1, 0)
+	b.J("passed")
+	b.Label("c_wait")
+	locks.EmitWaitChange(b, "c", w, isa.T3, isa.S0, isa.A1, isa.S5, isa.S4)
+}
+
+// emitTreeBarrier: ascend the binary combining tree. The level-l node of
+// core i is word (nActive - width) + (i >> (l+1)) where width = nActive
+// >> l; the second arrival at a node resets it and ascends, the first
+// waits on the shared sense. The sole arrival at width 1 is the root: it
+// flips the sense.
+func emitTreeBarrier(b *isa.Builder, w locks.WaitKind) {
+	b.Mv(isa.T4, isa.S1) // width of the current level
+	b.Li(isa.S6, 0)      // level
+	b.Label("t_arrive")
+	b.Li(isa.T0, 1)
+	b.Beq(isa.T4, isa.T0, "t_root")
+	b.Sub(isa.T0, isa.S1, isa.T4)
+	b.Addi(isa.T2, isa.S6, 1)
+	b.Srl(isa.T1, isa.S7, isa.T2)
+	b.Add(isa.T0, isa.T0, isa.T1)
+	b.Slli(isa.T0, isa.T0, 2)
+	b.Add(isa.T0, isa.T0, isa.A0)
+	b.Li(isa.T1, 1)
+	b.AmoAdd(isa.T3, isa.T1, isa.T0)
+	b.Beqz(isa.T3, "t_wait") // first arrival at the node
+	// Second arrival: reset the node for the next episode and ascend.
+	b.Sw(isa.Zero, isa.T0, 0)
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Srli(isa.T4, isa.T4, 1)
+	b.J("t_arrive")
+	b.Label("t_root")
+	b.Xori(isa.T3, isa.S0, 1)
+	b.Sw(isa.T3, isa.A1, 0)
+	b.J("passed")
+	b.Label("t_wait")
+	locks.EmitWaitChange(b, "t", w, isa.T3, isa.S0, isa.A1, isa.S5, isa.S4)
+}
+
+// emitButterflyBarrier: levels pairwise rounds. In round l the core
+// AMOADDs the flag of partner id^(1<<l) at that level, then waits for
+// its own level-l flag to leave the episode count. Flags are monotonic
+// counters, so "!= episode" is exactly "the round-l signal of this
+// episode arrived" and no reinitialization (or sense) is ever needed.
+func emitButterflyBarrier(b *isa.Builder, w locks.WaitKind, levels int) {
+	if levels == 0 {
+		return // a single core crosses alone
+	}
+	b.Li(isa.S6, 0) // level
+	b.Label("b_level")
+	b.Li(isa.T0, 1)
+	b.Sll(isa.T0, isa.T0, isa.S6)
+	b.Xor(isa.T1, isa.S7, isa.T0) // partner id
+	b.Mul(isa.T2, isa.S6, isa.S1)
+	b.Add(isa.T2, isa.T2, isa.T1)
+	b.Slli(isa.T2, isa.T2, 2)
+	b.Add(isa.T2, isa.T2, isa.A0)
+	b.Li(isa.T0, 1)
+	b.AmoAdd(isa.Zero, isa.T0, isa.T2) // signal the partner
+	b.Mul(isa.T2, isa.S6, isa.S1)
+	b.Add(isa.T2, isa.T2, isa.S7)
+	b.Slli(isa.T2, isa.T2, 2)
+	b.Add(isa.T2, isa.T2, isa.A0)
+	locks.EmitWaitChange(b, "bf", w, isa.T0, isa.S3, isa.T2, isa.S5, isa.S4)
+	b.Addi(isa.S6, isa.S6, 1)
+	b.Li(isa.T0, int32(levels))
+	b.Bne(isa.S6, isa.T0, "b_level")
+}

@@ -1,0 +1,178 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/locks"
+	"repro/internal/platform"
+)
+
+// An HSynch/CC-Synch-style combining lock (TCLocks): threads deposit
+// requests into a global queue with one AMOSWAP on the tail, and the
+// current lock holder (combiner) serves queued requests on their behalf
+// — here, increments of a deliberately non-atomic shared counter — until
+// the queue drains or the serve bound is hit, then hands the combiner
+// role to the first unserved node. Requesters wait on their own node
+// with locks.EmitWaitChange, so one kernel covers spin, backoff-spin and
+// Mwait-sleep waiters; a single hot tail word plus per-node handover
+// writes make it a natural stress for the Colibri queue policies.
+//
+// The served value (the counter after the increment) is written back
+// into the node as a receipt. Receipts are globally unique and assigned
+// in queue order, so each core's receipts must be strictly increasing
+// (FIFO service), the set of receipts over a bounded run must be exactly
+// 1..total (mutual exclusion: a racing combiner would duplicate values
+// on the non-atomic counter), and a busy word asserts directly that two
+// combiners never overlap.
+
+// CombNodeWords is the per-node footprint in words:
+// [0] next ptr, [1] wait flag, [2] completed flag, [3] receipt.
+const CombNodeWords = 4
+
+// CombLayout places the combining-lock sections for nActive cores.
+// InitCombLock must run before the system starts.
+type CombLayout struct {
+	NActive int
+
+	Tail    uint32 // queue tail: byte address of the current tail node
+	Nodes   uint32 // (NActive+1) nodes; node i at Nodes + 16*i, sentinel last
+	Counter uint32 // the protected, non-atomic counter
+	Busy    uint32 // combiner-active word (mutual-exclusion litmus)
+	Err     uint32 // litmus error word (sticky, 0 = no violation)
+	Sums    uint32 // bounded runs: per-core receipt sums (NActive words)
+}
+
+// NewCombLayout allocates the combining-lock sections from l.
+func NewCombLayout(l *platform.Layout, nActive int) CombLayout {
+	if nActive <= 0 {
+		panic(fmt.Sprintf("patterns: nActive %d must be positive", nActive))
+	}
+	lay := CombLayout{NActive: nActive}
+	lay.Tail = l.Words(1)
+	lay.Nodes = l.Words(CombNodeWords * (nActive + 1))
+	lay.Counter = l.Words(1)
+	lay.Busy = l.Words(1)
+	lay.Err = l.Words(1)
+	lay.Sums = l.Words(nActive)
+	return lay
+}
+
+// InitCombLock points the tail at the sentinel node, whose zeroed state
+// (wait == 0, completed == 0) makes the first enqueuer the combiner.
+func InitCombLock(sys *platform.System, lay CombLayout) {
+	sys.WriteWord(lay.Tail, lay.Nodes+uint32(4*CombNodeWords*lay.NActive))
+}
+
+// Combining-lock register plan:
+//
+//	a0 tail addr     a1 counter addr   a2 busy addr    a3 error addr
+//	s0 spare node    s1 serve bound    s2 last receipt s3 ops left
+//	s4 backoff cap   s5 backoff cur    s6 receipt sum
+//	t0 own node      t1 walk node      t2..t4 scratch
+//
+// CombLockProgram builds one requester/combiner core: reset the spare
+// node, swap it into the tail, deposit into the node received back, wait
+// for it, and either read the receipt (request was combined for us) or
+// become the combiner and serve up to maxCombine queued requests —
+// always starting with our own — before handing over. iters <= 0 builds
+// an endless loop; otherwise the core stores its receipt sum into
+// Sums[core] after iters operations and halts.
+func CombLockProgram(w locks.WaitKind, lay CombLayout, maxCombine int, backoff int32, iters int) *isa.Program {
+	if maxCombine < 1 {
+		panic(fmt.Sprintf("patterns: maxCombine %d must be >= 1", maxCombine))
+	}
+	b := isa.NewBuilder()
+	b.Li(isa.A0, int32(lay.Tail))
+	b.Li(isa.A1, int32(lay.Counter))
+	b.Li(isa.A2, int32(lay.Busy))
+	b.Li(isa.A3, int32(lay.Err))
+	b.CoreID(isa.T0)
+	b.Slli(isa.T0, isa.T0, 4)
+	b.Li(isa.T1, int32(lay.Nodes))
+	b.Add(isa.S0, isa.T0, isa.T1)
+	b.Li(isa.S1, int32(maxCombine))
+	b.Li(isa.S2, 0)
+	b.Li(isa.S6, 0)
+	b.Li(isa.S4, backoff)
+	locks.EmitBackoffReset(b, isa.S5, isa.S4)
+	if iters > 0 {
+		b.Li(isa.S3, int32(iters))
+	}
+
+	b.Label("op")
+	// Reset the spare and swap it in; the node we get back carries our
+	// request (CC-Synch: the request lives in the swapped-out node, so
+	// the tail-most node is always requestless and next != 0 holds for
+	// every deposited node).
+	b.Sw(isa.Zero, isa.S0, 0)
+	b.Li(isa.T0, 1)
+	b.Sw(isa.T0, isa.S0, 4)
+	b.Sw(isa.Zero, isa.S0, 8)
+	b.AmoSwap(isa.T0, isa.S0, isa.A0)
+	b.Sw(isa.S0, isa.T0, 0) // deposit: own.next = spare
+	// Wait for our node's wait flag to drop.
+	b.Addi(isa.T2, isa.T0, 4)
+	b.Li(isa.T3, 1)
+	locks.EmitWaitChange(b, "cb", w, isa.T1, isa.T3, isa.T2, isa.S5, isa.S4)
+	b.Lw(isa.T1, isa.T0, 8)
+	b.Bnez(isa.T1, "cb_receipt") // completed: combined on our behalf
+	// === combiner ===
+	// Mutual exclusion: no other combiner may be active.
+	b.Lw(isa.T1, isa.A2, 0)
+	b.Beqz(isa.T1, "cb_mx_ok")
+	b.Li(isa.T1, 1)
+	b.Sw(isa.T1, isa.A3, 0)
+	b.Label("cb_mx_ok")
+	b.Li(isa.T1, 1)
+	b.Sw(isa.T1, isa.A2, 0)
+	// Serve from our own node while a successor exists and the bound
+	// allows. The successor pointer is cached before wait is dropped:
+	// wait == 0 returns the node to its owner for recycling.
+	b.Li(isa.T4, 0)
+	b.Mv(isa.T1, isa.T0)
+	b.Label("cb_walk")
+	b.Lw(isa.T2, isa.T1, 0)
+	b.Beqz(isa.T2, "cb_stop")
+	b.Bge(isa.T4, isa.S1, "cb_stop")
+	b.Lw(isa.T3, isa.A1, 0) // the request: counter++, non-atomically
+	b.Addi(isa.T3, isa.T3, 1)
+	b.Sw(isa.T3, isa.A1, 0)
+	b.Sw(isa.T3, isa.T1, 12) // receipt = counter after increment
+	b.Li(isa.T3, 1)
+	b.Sw(isa.T3, isa.T1, 8) // completed
+	b.Sw(isa.Zero, isa.T1, 4)
+	b.Addi(isa.T4, isa.T4, 1)
+	b.Mv(isa.T1, isa.T2)
+	b.J("cb_walk")
+	b.Label("cb_stop")
+	// Hand over: drop busy first (the next combiner re-checks it), then
+	// wake the first unserved node with completed == 0.
+	b.Sw(isa.Zero, isa.A2, 0)
+	b.Sw(isa.Zero, isa.T1, 4)
+	b.Label("cb_receipt")
+	// FIFO: receipts are assigned in queue order, so ours must exceed
+	// every receipt we saw before.
+	b.Lw(isa.T3, isa.T0, 12)
+	b.Blt(isa.S2, isa.T3, "cb_fifo_ok")
+	b.Li(isa.T2, 1)
+	b.Sw(isa.T2, isa.A3, 0)
+	b.Label("cb_fifo_ok")
+	b.Mv(isa.S2, isa.T3)
+	b.Add(isa.S6, isa.S6, isa.T3)
+	b.Mv(isa.S0, isa.T0) // recycle: the served node is our next spare
+	b.Mark()
+	if iters > 0 {
+		b.Addi(isa.S3, isa.S3, -1)
+		b.Bnez(isa.S3, "op")
+		b.CoreID(isa.T0)
+		b.Slli(isa.T0, isa.T0, 2)
+		b.Li(isa.T1, int32(lay.Sums))
+		b.Add(isa.T0, isa.T0, isa.T1)
+		b.Sw(isa.S6, isa.T0, 0)
+		b.Halt()
+	} else {
+		b.J("op")
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,137 @@
+// Package patterns is the synchronization-pattern workload suite: the
+// classic shared-memory synchronization idioms — barriers (central
+// sense-reversing, binary tree, butterfly), RCU writer synchronization
+// (epoch flip-and-wait), and an HSynch/CC-Synch-style combining lock —
+// each built as an assembly kernel on internal/isa + internal/locks and
+// registered as a sweep.Scenario.
+//
+// The paper's claim is about synchronization *patterns*, not just its
+// three evaluation kernels: polling-free, retry-free waiting scales
+// where spinning collapses. Every kernel here therefore parameterizes
+// its waiters across locks.WaitKinds — busy spin, backoff spin, and
+// Mwait sleep — the software axis that maps onto the hardware policy
+// axis (plain/lrsc/lrsc-table/lrscwait/colibri) the sweep grid already
+// sweeps. The kernels use only AMOs, plain loads/stores and Mwait, and
+// every Mwait sits in a retry loop, so they run (if slowly) under every
+// registered policy, including ones that refuse Mwait.
+//
+// Registration happens in this package's init (scenarios.go); importing
+// the package — directly, via the facade, or blank from cmd/sweep — is
+// what adds the kinds to the registry. The sweep engine's grid, cache,
+// emitters and service fabric apply unchanged.
+package patterns
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/locks"
+)
+
+// Scenario parameter keys (Job.Params / cmd/sweep -params).
+const (
+	// ParamWait selects the swept wait strategies: a comma-separated
+	// subset of spin, backoff, mwait. Default: all three.
+	ParamWait = "wait"
+	// ParamVariant selects the swept barrier variants: a comma-separated
+	// subset of central, tree, butterfly. Default: all three.
+	ParamVariant = "variant"
+	// ParamMaxCombine bounds how many queued requests one combining-lock
+	// holder serves before handing over. Default: 16.
+	ParamMaxCombine = "maxcombine"
+)
+
+// DefaultMaxCombine is the combining-lock holder's serve bound when
+// ParamMaxCombine is unset (CC-Synch's h; bounds holder latency).
+const DefaultMaxCombine = 16
+
+// parseWaitList parses a comma-separated wait-kind list ("" selects all
+// kinds) and returns the kinds with their canonical spelling.
+func parseWaitList(s string) ([]locks.WaitKind, string, error) {
+	if strings.TrimSpace(s) == "" {
+		kinds := locks.WaitKinds()
+		return kinds, joinWaits(kinds), nil
+	}
+	var kinds []locks.WaitKind
+	seen := map[locks.WaitKind]bool{}
+	for _, part := range strings.Split(s, ",") {
+		w, err := locks.ParseWaitKind(strings.TrimSpace(part))
+		if err != nil {
+			return nil, "", err
+		}
+		if seen[w] {
+			return nil, "", fmt.Errorf("patterns: duplicate wait kind %q", w)
+		}
+		seen[w] = true
+		kinds = append(kinds, w)
+	}
+	return kinds, joinWaits(kinds), nil
+}
+
+func joinWaits(kinds []locks.WaitKind) string {
+	parts := make([]string, len(kinds))
+	for i, w := range kinds {
+		parts[i] = w.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// checkParams rejects Params keys outside allowed. Every key feeds the
+// cache identity, so an unrecognized (e.g. misspelled) key must fail
+// loudly rather than silently fork the cache namespace.
+func checkParams(params map[string]string, allowed ...string) error {
+	for k := range params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("patterns: unknown param %q (allowed: %s)",
+				k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// setParam writes a canonicalized param value, allocating the map if the
+// job arrived without one.
+func setParam(params map[string]string, key, val string) map[string]string {
+	if params == nil {
+		params = map[string]string{}
+	}
+	params[key] = val
+	return params
+}
+
+// haltProgram is the program for cores outside the active set.
+func haltProgram() *isa.Program {
+	b := isa.NewBuilder()
+	b.Halt()
+	return b.MustBuild()
+}
+
+// win resolves a normalized window value: negative means a literal
+// zero-cycle window (the Job convention).
+func win(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,176 @@
+package patterns
+
+import (
+	"repro/internal/isa"
+	"repro/internal/locks"
+	"repro/internal/platform"
+)
+
+// RCU writer synchronization modeled on Quicksand's RCULock: readers
+// enter a critical section by incrementing the reader counter of the
+// current phase and leave by decrementing it; the writer publishes a new
+// version, then runs flip-and-wait twice — flip the phase flag, wait for
+// the retired phase's counter to drain — before reclaiming (poisoning)
+// the retired buffer. The writer's wait on the draining counter is a
+// locks.EmitWaitChange, so the poll/backoff/Mwait choice maps directly
+// onto polling vs. LRSCwait.
+//
+// The published object is a two-word (value, check) pair written with
+// value == check; reclamation poisons the pair with two different
+// values. A reader that ever observes value != check has dereferenced a
+// retired-and-reclaimed version — exactly the use-after-reclaim a broken
+// grace period permits — and sets the sticky error word.
+
+// RCULayout places the RCU data sections. InitRCU must run before the
+// system starts.
+type RCULayout struct {
+	Flag uint32 // phase flag (0/1)
+	Cnt  uint32 // two phase reader counters (2 words)
+	Ptr  uint32 // published version pointer (byte address of a buffer)
+	Bufs uint32 // two 2-word (value, check) buffers (4 words)
+	Stop uint32 // bounded runs: writer sets it after the last sync; readers halt on it
+	Err  uint32 // litmus error word (sticky, 0 = no violation)
+}
+
+// NewRCULayout allocates the RCU sections from l.
+func NewRCULayout(l *platform.Layout) RCULayout {
+	var lay RCULayout
+	lay.Flag = l.Words(1)
+	lay.Cnt = l.Words(2)
+	lay.Ptr = l.Words(1)
+	lay.Bufs = l.Words(4)
+	lay.Stop = l.Words(1)
+	lay.Err = l.Words(1)
+	return lay
+}
+
+// InitRCU points the published pointer at buffer 0, whose zeroed state
+// (value == check == 0) is a consistent version for early readers.
+func InitRCU(sys *platform.System, lay RCULayout) {
+	sys.WriteWord(lay.Ptr, lay.Bufs)
+}
+
+// RCU writer register plan:
+//
+//	a0 flag addr     a1 counter base   a2 ptr addr
+//	s3 sequence      s4 backoff cap    s5 backoff cur
+//	s6 buffer base   s7 current buffer index
+//	t0..t4 scratch
+//
+// RCUWriterProgram builds the writer (core 0): alternate buffers, write
+// the next version (value = check = seq), publish it, synchronize with
+// a double flip-and-wait, poison the retired buffer, MARK. syncs <= 0
+// builds an endless loop; otherwise the writer raises the stop word
+// after syncs rounds and halts.
+func RCUWriterProgram(w locks.WaitKind, lay RCULayout, backoff int32, syncs int) *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.A0, int32(lay.Flag))
+	b.Li(isa.A1, int32(lay.Cnt))
+	b.Li(isa.A2, int32(lay.Ptr))
+	b.Li(isa.S3, 0)
+	b.Li(isa.S4, backoff)
+	locks.EmitBackoffReset(b, isa.S5, isa.S4)
+	b.Li(isa.S6, int32(lay.Bufs))
+	b.Li(isa.S7, 0) // buffer 0 is live (InitRCU)
+
+	b.Label("w_loop")
+	// Write the next version into the spare buffer and publish it.
+	b.Xori(isa.S7, isa.S7, 1)
+	b.Slli(isa.T0, isa.S7, 3)
+	b.Add(isa.T0, isa.T0, isa.S6)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Sw(isa.S3, isa.T0, 0)
+	b.Sw(isa.S3, isa.T0, 4)
+	b.Sw(isa.T0, isa.A2, 0)
+	// writer_sync: flip-and-wait twice (RCULock), so readers registered
+	// on either phase have drained before reclaim.
+	emitFlipAndWait(b, "f1", w)
+	emitFlipAndWait(b, "f2", w)
+	// Reclaim: poison the retired buffer with a torn pair.
+	b.Xori(isa.T0, isa.S7, 1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S6)
+	b.Li(isa.T1, 0xDEAD)
+	b.Sw(isa.T1, isa.T0, 0)
+	b.Li(isa.T1, 0xBEEF)
+	b.Sw(isa.T1, isa.T0, 4)
+	b.Mark()
+	if syncs > 0 {
+		b.Li(isa.T1, int32(syncs))
+		b.Bne(isa.S3, isa.T1, "w_loop")
+		b.Li(isa.T0, 1)
+		b.Li(isa.T1, int32(lay.Stop))
+		b.Sw(isa.T0, isa.T1, 0)
+		b.Halt()
+	} else {
+		b.J("w_loop")
+	}
+	return b.MustBuild()
+}
+
+// emitFlipAndWait: old = flag; flag = !old; wait until cnt[old] == 0.
+// The drain wait re-checks for zero after every observed change, since
+// the counter may pass through intermediate values.
+func emitFlipAndWait(b *isa.Builder, prefix string, w locks.WaitKind) {
+	b.Lw(isa.T1, isa.A0, 0)
+	b.Xori(isa.T2, isa.T1, 1)
+	b.Sw(isa.T2, isa.A0, 0)
+	b.Slli(isa.T3, isa.T1, 2)
+	b.Add(isa.T3, isa.T3, isa.A1) // &cnt[old]
+	b.Label(prefix + "_chk")
+	b.Lw(isa.T4, isa.T3, 0)
+	b.Beqz(isa.T4, prefix+"_done")
+	locks.EmitWaitChange(b, prefix, w, isa.T0, isa.T4, isa.T3, isa.S5, isa.S4)
+	b.J(prefix + "_chk")
+	b.Label(prefix + "_done")
+}
+
+// RCU reader register plan:
+//
+//	a0 flag addr   a1 counter base   a2 ptr addr   a3 error addr
+//	s1 stop addr (bounded runs)
+//	t0..t4 scratch
+//
+// RCUReaderProgram builds a reader: register on the current phase's
+// counter, dereference the published version, check value == check,
+// deregister, MARK. bounded selects the stop-word check (litmus runs);
+// otherwise the loop is endless (throughput windows).
+func RCUReaderProgram(lay RCULayout, bounded bool) *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.A0, int32(lay.Flag))
+	b.Li(isa.A1, int32(lay.Cnt))
+	b.Li(isa.A2, int32(lay.Ptr))
+	b.Li(isa.A3, int32(lay.Err))
+	if bounded {
+		b.Li(isa.S1, int32(lay.Stop))
+	}
+	b.Label("r_loop")
+	if bounded {
+		b.Lw(isa.T0, isa.S1, 0)
+		b.Bnez(isa.T0, "r_halt")
+	}
+	// rcu_read_lock: register on the current phase.
+	b.Lw(isa.T0, isa.A0, 0)
+	b.Slli(isa.T1, isa.T0, 2)
+	b.Add(isa.T1, isa.T1, isa.A1)
+	b.Li(isa.T2, 1)
+	b.AmoAdd(isa.Zero, isa.T2, isa.T1)
+	// Critical section: dereference and check the published version.
+	b.Lw(isa.T2, isa.A2, 0)
+	b.Lw(isa.T3, isa.T2, 0)
+	b.Lw(isa.T4, isa.T2, 4)
+	b.Beq(isa.T3, isa.T4, "r_ok")
+	b.Li(isa.T3, 1)
+	b.Sw(isa.T3, isa.A3, 0)
+	b.Label("r_ok")
+	// rcu_read_unlock: deregister from the same counter.
+	b.Li(isa.T2, -1)
+	b.AmoAdd(isa.Zero, isa.T2, isa.T1)
+	b.Mark()
+	b.J("r_loop")
+	if bounded {
+		b.Label("r_halt")
+		b.Halt()
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,445 @@
+package patterns
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// The pattern scenario kinds (sweep registry names).
+const (
+	KindBarrier  sweep.Kind = "barrier"
+	KindRCU      sweep.Kind = "rcu"
+	KindCombLock sweep.Kind = "comblock"
+)
+
+// Scenario-defined metric names (sweep.Point.Metric keys).
+const (
+	// MetricCyclesPerBarrier is the mean cost of one barrier episode:
+	// cycles * nActive / total barrier crossings in the window.
+	MetricCyclesPerBarrier = "cycles_per_barrier"
+	// MetricWriterSyncCycles is the mean writer round latency: cycles
+	// per completed publish + double flip-and-wait + reclaim.
+	MetricWriterSyncCycles = "writer_sync_cycles"
+)
+
+// Default simulation windows for the pattern scenarios. Barrier episodes
+// and writer grace periods span many more cycles than a histogram
+// update, so the windows are wider than the figure defaults.
+const (
+	DefaultPatternWarmup  = 2000
+	DefaultPatternMeasure = 10000
+)
+
+func init() {
+	sweep.MustRegister(barrierScenario{})
+	sweep.MustRegister(rcuScenario{})
+	sweep.MustRegister(combLockScenario{})
+}
+
+// basePolicy is the pattern scenarios' policy baseline; the grid's
+// policy axis replaces it per coordinate (GridCoord.Merge).
+func basePolicy() experiments.Policy {
+	return experiments.Policy{Kind: platform.PolicyColibri}
+}
+
+// defaultCounts returns the default active-core axis: powers of two
+// from min up to the topology's core count.
+func defaultCounts(topo noc.Topology, min int) []int {
+	var counts []int
+	for n := min; n <= topo.NumCores(); n *= 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// normalizeCounts validates the active-core axis shared by the pattern
+// scenarios: each count within [min, cores], powers of two when pow2.
+func normalizeCounts(j sweep.Job, topo noc.Topology, min int, pow2 bool) error {
+	for _, n := range j.Bins {
+		if n < min || n > topo.NumCores() {
+			return fmt.Errorf("patterns: active-core count %d out of range [%d, %d]",
+				n, min, topo.NumCores())
+		}
+		if pow2 && !isPow2(n) {
+			return fmt.Errorf("patterns: active-core count %d must be a power of two "+
+				"for tree/butterfly barriers", n)
+		}
+	}
+	return nil
+}
+
+// parseVariantList parses a comma-separated barrier-variant list (""
+// selects all variants) and returns the canonical spelling.
+func parseVariantList(s string) ([]BarrierVariant, string, error) {
+	if strings.TrimSpace(s) == "" {
+		vs := BarrierVariants()
+		return vs, joinVariants(vs), nil
+	}
+	var vs []BarrierVariant
+	seen := map[BarrierVariant]bool{}
+	for _, part := range strings.Split(s, ",") {
+		v, err := ParseBarrierVariant(strings.TrimSpace(part))
+		if err != nil {
+			return nil, "", err
+		}
+		if seen[v] {
+			return nil, "", fmt.Errorf("patterns: duplicate barrier variant %q", v)
+		}
+		seen[v] = true
+		vs = append(vs, v)
+	}
+	return vs, joinVariants(vs), nil
+}
+
+func joinVariants(vs []BarrierVariant) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// newSystem builds a system where the first nActive cores run prog and
+// the rest halt immediately (the active-subset idiom of fig6).
+func newSystem(cfg platform.Config, prog *isa.Program, nActive int) *platform.System {
+	idle := haltProgram()
+	return platform.New(cfg, func(core int) *isa.Program {
+		if core < nActive {
+			return prog
+		}
+		return idle
+	})
+}
+
+// barrierScenario: cycles per barrier episode vs active-core count, one
+// curve per (variant × wait kind).
+type barrierScenario struct{}
+
+func (barrierScenario) Name() string   { return string(KindBarrier) }
+func (barrierScenario) GridAxes() bool { return true }
+func (barrierScenario) Description() string {
+	return "barrier cost vs #cores — central/tree/butterfly × spin/backoff/mwait waiters"
+}
+
+func (barrierScenario) Normalize(j sweep.Job, topo noc.Topology) (sweep.Job, error) {
+	if j.Warmup == 0 {
+		j.Warmup = DefaultPatternWarmup
+	}
+	if j.Measure == 0 {
+		j.Measure = DefaultPatternMeasure
+	}
+	if err := checkParams(j.Params, ParamWait, ParamVariant); err != nil {
+		return j, err
+	}
+	_, canonW, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return j, err
+	}
+	variants, canonV, err := parseVariantList(j.Params[ParamVariant])
+	if err != nil {
+		return j, err
+	}
+	j.Params = setParam(j.Params, ParamWait, canonW)
+	j.Params = setParam(j.Params, ParamVariant, canonV)
+	pow2 := false
+	for _, v := range variants {
+		if v != BarrierCentral {
+			pow2 = true
+		}
+	}
+	if len(j.Bins) == 0 {
+		j.Bins = defaultCounts(topo, 2)
+	}
+	return j, normalizeCounts(j, topo, 1, pow2)
+}
+
+func (barrierScenario) Curves(topo noc.Topology, j sweep.Job) ([]sweep.Curve, error) {
+	warmup, measure := win(j.Warmup), win(j.Measure)
+	waits, _, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return nil, err
+	}
+	variants, _, err := parseVariantList(j.Params[ParamVariant])
+	if err != nil {
+		return nil, err
+	}
+	var curves []sweep.Curve
+	for _, v := range variants {
+		for _, w := range waits {
+			v, w := v, w
+			curves = append(curves, sweep.Curve{
+				Name: v.String() + "-" + w.String(), NumPoints: len(j.Bins), Sim: true,
+				Key: func(g sweep.GridCoord, pt int) string {
+					pol := g.Merge(basePolicy())
+					return fmt.Sprintf("%s|w=%s|active%d|%s", v, w, j.Bins[pt], pol.KeyFragment())
+				},
+				Run: func(g sweep.GridCoord, pt int) sweep.Point {
+					pol := g.Merge(basePolicy())
+					nActive := j.Bins[pt]
+					l := platform.NewLayout(0)
+					lay := NewBarrierLayout(l, nActive)
+					prog := BarrierProgram(v, w, lay, pol.ResolveBackoff(), 0, false)
+					sys := newSystem(pol.Config(topo), prog, nActive)
+					act := sys.Measure(warmup, measure)
+					sys.PublishObs(obs.Default())
+					p := sweep.Point{X: nActive}
+					if act.TotalOps > 0 {
+						p.SetMetric(MetricCyclesPerBarrier,
+							float64(act.Cycle)*float64(nActive)/float64(act.TotalOps))
+					}
+					return p
+				},
+			})
+		}
+	}
+	return curves, nil
+}
+
+func (barrierScenario) Table(r *sweep.Result) *stats.Table {
+	header := []string{"#cores"}
+	for _, sr := range r.Series {
+		header = append(header, sr.Name)
+	}
+	t := stats.NewTable(fmt.Sprintf(
+		"Synchronization barriers — cycles/barrier vs #cores (%d-core system)",
+		r.Cores), header...)
+	for i, n := range r.Job.Bins {
+		row := []string{strconv.Itoa(n)}
+		for _, sr := range r.Series {
+			v, _ := sr.Points[i].Metric(MetricCyclesPerBarrier)
+			row = append(row, stats.F(v, 1))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// rcuScenario: reader throughput and writer grace-period latency vs
+// active-core count (core 0 writes, the rest read), one curve per
+// writer wait kind.
+type rcuScenario struct{}
+
+func (rcuScenario) Name() string   { return string(KindRCU) }
+func (rcuScenario) GridAxes() bool { return true }
+func (rcuScenario) Description() string {
+	return "RCU flip-and-wait — reader ops/cycle and writer grace-period cycles vs #cores"
+}
+
+func (rcuScenario) Normalize(j sweep.Job, topo noc.Topology) (sweep.Job, error) {
+	if j.Warmup == 0 {
+		j.Warmup = DefaultPatternWarmup
+	}
+	if j.Measure == 0 {
+		j.Measure = DefaultPatternMeasure
+	}
+	if err := checkParams(j.Params, ParamWait); err != nil {
+		return j, err
+	}
+	_, canonW, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return j, err
+	}
+	j.Params = setParam(j.Params, ParamWait, canonW)
+	if len(j.Bins) == 0 {
+		j.Bins = defaultCounts(topo, 2)
+	}
+	return j, normalizeCounts(j, topo, 2, false)
+}
+
+func (rcuScenario) Curves(topo noc.Topology, j sweep.Job) ([]sweep.Curve, error) {
+	warmup, measure := win(j.Warmup), win(j.Measure)
+	waits, _, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return nil, err
+	}
+	var curves []sweep.Curve
+	for _, w := range waits {
+		w := w
+		curves = append(curves, sweep.Curve{
+			Name: "writer-" + w.String(), NumPoints: len(j.Bins), Sim: true,
+			Key: func(g sweep.GridCoord, pt int) string {
+				pol := g.Merge(basePolicy())
+				return fmt.Sprintf("w=%s|active%d|%s", w, j.Bins[pt], pol.KeyFragment())
+			},
+			Run: func(g sweep.GridCoord, pt int) sweep.Point {
+				pol := g.Merge(basePolicy())
+				nActive := j.Bins[pt]
+				l := platform.NewLayout(0)
+				lay := NewRCULayout(l)
+				writer := RCUWriterProgram(w, lay, pol.ResolveBackoff(), 0)
+				reader := RCUReaderProgram(lay, false)
+				idle := haltProgram()
+				sys := platform.New(pol.Config(topo), func(core int) *isa.Program {
+					switch {
+					case core == 0:
+						return writer
+					case core < nActive:
+						return reader
+					}
+					return idle
+				})
+				InitRCU(sys, lay)
+				act := sys.Measure(warmup, measure)
+				sys.PublishObs(obs.Default())
+				p := sweep.Point{X: nActive}
+				writerOps := act.OpsPerCore[0]
+				if act.Cycle > 0 {
+					p.Throughput = float64(act.TotalOps-writerOps) / float64(act.Cycle)
+				}
+				if writerOps > 0 {
+					p.SetMetric(MetricWriterSyncCycles, float64(act.Cycle)/float64(writerOps))
+				}
+				return p
+			},
+		})
+	}
+	return curves, nil
+}
+
+func (rcuScenario) Table(r *sweep.Result) *stats.Table {
+	header := []string{"#cores"}
+	for _, sr := range r.Series {
+		header = append(header, sr.Name+"-rd", sr.Name+"-sync")
+	}
+	t := stats.NewTable(fmt.Sprintf(
+		"RCU writer-sync — reader ops/cycle and writer grace-period cycles (%d-core system)",
+		r.Cores), header...)
+	for i, n := range r.Job.Bins {
+		row := []string{strconv.Itoa(n)}
+		for _, sr := range r.Series {
+			p := sr.Points[i]
+			sync, _ := p.Metric(MetricWriterSyncCycles)
+			row = append(row, stats.F(p.Throughput, 4), stats.F(sync, 1))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// combLockScenario: combining-lock operations/cycle and per-core
+// fairness band vs active-core count, one curve per wait kind.
+type combLockScenario struct{}
+
+func (combLockScenario) Name() string   { return string(KindCombLock) }
+func (combLockScenario) GridAxes() bool { return true }
+func (combLockScenario) Description() string {
+	return "combining lock (CC-Synch/HSynch) — ops/cycle and fairness band vs #cores"
+}
+
+func (combLockScenario) Normalize(j sweep.Job, topo noc.Topology) (sweep.Job, error) {
+	if j.Warmup == 0 {
+		j.Warmup = DefaultPatternWarmup
+	}
+	if j.Measure == 0 {
+		j.Measure = DefaultPatternMeasure
+	}
+	if err := checkParams(j.Params, ParamWait, ParamMaxCombine); err != nil {
+		return j, err
+	}
+	_, canonW, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return j, err
+	}
+	j.Params = setParam(j.Params, ParamWait, canonW)
+	mc, err := maxCombineOf(j)
+	if err != nil {
+		return j, err
+	}
+	j.Params = setParam(j.Params, ParamMaxCombine, strconv.Itoa(mc))
+	if len(j.Bins) == 0 {
+		j.Bins = defaultCounts(topo, 2)
+	}
+	return j, normalizeCounts(j, topo, 1, false)
+}
+
+// maxCombineOf parses ParamMaxCombine ("" selects DefaultMaxCombine).
+func maxCombineOf(j sweep.Job) (int, error) {
+	s := strings.TrimSpace(j.Params[ParamMaxCombine])
+	if s == "" {
+		return DefaultMaxCombine, nil
+	}
+	mc, err := strconv.Atoi(s)
+	if err != nil || mc < 1 {
+		return 0, fmt.Errorf("patterns: %s=%q must be a positive integer", ParamMaxCombine, s)
+	}
+	return mc, nil
+}
+
+func (combLockScenario) Curves(topo noc.Topology, j sweep.Job) ([]sweep.Curve, error) {
+	warmup, measure := win(j.Warmup), win(j.Measure)
+	waits, _, err := parseWaitList(j.Params[ParamWait])
+	if err != nil {
+		return nil, err
+	}
+	maxCombine, err := maxCombineOf(j)
+	if err != nil {
+		return nil, err
+	}
+	var curves []sweep.Curve
+	for _, w := range waits {
+		w := w
+		curves = append(curves, sweep.Curve{
+			Name: w.String(), NumPoints: len(j.Bins), Sim: true,
+			Key: func(g sweep.GridCoord, pt int) string {
+				pol := g.Merge(basePolicy())
+				return fmt.Sprintf("w=%s|mc%d|active%d|%s", w, maxCombine, j.Bins[pt], pol.KeyFragment())
+			},
+			Run: func(g sweep.GridCoord, pt int) sweep.Point {
+				pol := g.Merge(basePolicy())
+				nActive := j.Bins[pt]
+				l := platform.NewLayout(0)
+				lay := NewCombLayout(l, nActive)
+				prog := CombLockProgram(w, lay, maxCombine, pol.ResolveBackoff(), 0)
+				sys := newSystem(pol.Config(topo), prog, nActive)
+				InitCombLock(sys, lay)
+				act := sys.Measure(warmup, measure)
+				sys.PublishObs(obs.Default())
+				p := sweep.Point{X: nActive, Throughput: act.Throughput()}
+				min, max := act.OpsPerCore[0], act.OpsPerCore[0]
+				for _, v := range act.OpsPerCore[:nActive] {
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+				}
+				if act.Cycle > 0 {
+					p.MinPerCore = float64(min) / float64(act.Cycle)
+					p.MaxPerCore = float64(max) / float64(act.Cycle)
+				}
+				return p
+			},
+		})
+	}
+	return curves, nil
+}
+
+func (combLockScenario) Table(r *sweep.Result) *stats.Table {
+	header := []string{"#cores"}
+	for _, sr := range r.Series {
+		header = append(header, sr.Name, sr.Name+"-min", sr.Name+"-max")
+	}
+	t := stats.NewTable(fmt.Sprintf(
+		"Combining lock — ops/cycle vs #cores (%d-core system; min/max = per-core band)",
+		r.Cores), header...)
+	for i, n := range r.Job.Bins {
+		row := []string{strconv.Itoa(n)}
+		for _, sr := range r.Series {
+			p := sr.Points[i]
+			row = append(row, stats.F(p.Throughput, 4),
+				stats.F(p.MinPerCore, 5), stats.F(p.MaxPerCore, 5))
+		}
+		t.Add(row...)
+	}
+	return t
+}

@@ -49,6 +49,27 @@ type Scenario interface {
 	Curves(topo noc.Topology, job Job) ([]Curve, error)
 }
 
+// Describer is an optional Scenario extension: Description returns a
+// one-line summary of what the scenario measures, shown by cmd/sweep
+// -list-kinds next to the kind name. All built-ins implement it; custom
+// scenarios are encouraged to, so a grown registry stays navigable.
+type Describer interface {
+	Description() string
+}
+
+// Describe returns the one-line description of the scenario registered
+// under name, or "" when the scenario is unregistered or has none.
+func Describe(name string) string {
+	s, ok := Lookup(name)
+	if !ok {
+		return ""
+	}
+	if d, ok := s.(Describer); ok {
+		return d.Description()
+	}
+	return ""
+}
+
 // Finalizer is an optional Scenario extension: Finalize computes
 // cross-point derived values after all units of a job have landed
 // (cached or executed). It must never feed the cache, so cached and

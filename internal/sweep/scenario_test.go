@@ -409,3 +409,17 @@ func TestParseParams(t *testing.T) {
 		t.Errorf("empty value: %v, %v", p, err)
 	}
 }
+
+// TestBuiltinsDescribed pins that every built-in kind carries the
+// optional one-line description (-list-kinds navigability) and that
+// Describe degrades quietly for unknown names.
+func TestBuiltinsDescribed(t *testing.T) {
+	for _, kind := range Kinds() {
+		if Describe(string(kind)) == "" {
+			t.Errorf("built-in kind %q has no description", kind)
+		}
+	}
+	if d := Describe("no-such-kind"); d != "" {
+		t.Errorf("Describe of unregistered kind = %q, want empty", d)
+	}
+}

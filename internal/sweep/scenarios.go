@@ -37,8 +37,10 @@ func init() {
 		return experiments.Fig4Specs()
 	}, title: "Fig. 4 — lock implementations, histogram updates/cycle vs #bins"})
 	MustRegister(interferenceScenario{})
-	MustRegister(queueScenario{kind: Fig6, specs: experiments.Fig6Specs})
-	MustRegister(queueScenario{kind: Fig6MS, specs: experiments.Fig6MSSpecs})
+	MustRegister(queueScenario{kind: Fig6, specs: experiments.Fig6Specs,
+		title: "Fig. 6 — queue accesses/cycle vs #cores (fetch-and-add ring)"})
+	MustRegister(queueScenario{kind: Fig6MS, specs: experiments.Fig6MSSpecs,
+		title: "Fig. 6 — queue accesses/cycle vs #cores (Michael-Scott queue)"})
 	MustRegister(areaScenario{})
 	MustRegister(energyScenario{})
 }
@@ -90,8 +92,9 @@ type histScenario struct {
 	specs func(topo noc.Topology) []experiments.HistSpec
 }
 
-func (s histScenario) Name() string   { return string(s.kind) }
-func (s histScenario) GridAxes() bool { return true }
+func (s histScenario) Name() string        { return string(s.kind) }
+func (s histScenario) GridAxes() bool      { return true }
+func (s histScenario) Description() string { return s.title }
 
 func (s histScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 	j.defaultWindows(DefaultHistWarmup, DefaultHistMeasure)
@@ -144,6 +147,9 @@ type interferenceScenario struct{}
 
 func (interferenceScenario) Name() string   { return string(Fig5) }
 func (interferenceScenario) GridAxes() bool { return true }
+func (interferenceScenario) Description() string {
+	return "Fig. 5 — relative matmul throughput under atomics interference"
+}
 
 func (interferenceScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 	j.defaultWindows(DefaultFig5Warmup, DefaultFig5Measure)
@@ -200,11 +206,13 @@ func (interferenceScenario) Table(r *Result) *stats.Table {
 // as the number of participating cores grows.
 type queueScenario struct {
 	kind  Kind
+	title string
 	specs func() []experiments.QueueSpec
 }
 
-func (s queueScenario) Name() string   { return string(s.kind) }
-func (s queueScenario) GridAxes() bool { return true }
+func (s queueScenario) Name() string        { return string(s.kind) }
+func (s queueScenario) GridAxes() bool      { return true }
+func (s queueScenario) Description() string { return s.title }
 
 func (s queueScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 	j.defaultWindows(DefaultFig6Warmup, DefaultFig6Measure)
@@ -263,6 +271,9 @@ type areaScenario struct{}
 
 func (areaScenario) Name() string   { return string(TableI) }
 func (areaScenario) GridAxes() bool { return false }
+func (areaScenario) Description() string {
+	return "Table I — mempool_tile area with different LRSCwait designs"
+}
 
 func (areaScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 	if j.Cores == 0 {
@@ -322,6 +333,9 @@ type energyScenario struct{}
 
 func (energyScenario) Name() string   { return string(TableII) }
 func (energyScenario) GridAxes() bool { return false }
+func (energyScenario) Description() string {
+	return "Table II — energy per atomic access at highest contention"
+}
 
 func (energyScenario) Normalize(j Job, topo noc.Topology) (Job, error) {
 	j.defaultWindows(DefaultTableIIWarmup, DefaultTableIIMeasure)

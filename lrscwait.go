@@ -62,9 +62,11 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/locks"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/patterns"
 	"repro/internal/platform"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -379,6 +381,10 @@ type (
 	// ScenarioCurve is one logical series of a scenario: a name plus the
 	// per-point cache-key and measurement hooks.
 	ScenarioCurve = sweep.Curve
+	// ScenarioDescriber is an optional Scenario extension supplying a
+	// one-line summary shown by cmd/sweep -list-kinds; all built-ins
+	// implement it.
+	ScenarioDescriber = sweep.Describer
 	// ScenarioFinalizer is an optional Scenario extension for
 	// cross-point derived values (computed after caching, never fed back
 	// into it).
@@ -438,6 +444,10 @@ func Scenarios() []string { return sweep.Names() }
 
 // LookupScenario returns the scenario registered under name.
 func LookupScenario(name string) (Scenario, bool) { return sweep.Lookup(name) }
+
+// DescribeScenario returns the one-line description of the scenario
+// registered under name, or "" when it is unregistered or has none.
+func DescribeScenario(name string) string { return sweep.Describe(name) }
 
 // NewStatsTable creates an aligned text table (for custom
 // ScenarioTableRenderer implementations).
@@ -611,4 +621,132 @@ func HistogramProgram(v HistVariant, lay HistLayout, backoff int32, iters int) *
 // HistogramSum totals the bins after a run.
 func HistogramSum(sys *System, lay HistLayout) uint64 {
 	return kernels.HistogramSum(sys, lay)
+}
+
+// Synchronization-pattern re-exports: the internal/patterns workload
+// suite. Each pattern is an assembly kernel builder plus a registered
+// sweep scenario — KindBarrier (central / tree / butterfly barriers),
+// KindRCU (epoch flip-and-wait writer against concurrent readers) and
+// KindCombLock (CC-Synch-style combining lock) — so the kinds run
+// through RunSweeps, cmd/sweep and the policy grid exactly like the
+// paper figures. The kernel builders are exported for direct System
+// runs (see examples/barrier for the scenario route).
+type (
+	// WaitKind selects how a pattern kernel waits for a memory word to
+	// change: spin, bounded-exponential-backoff spin, or Mwait sleep.
+	WaitKind = locks.WaitKind
+	// BarrierVariant selects the barrier algorithm.
+	BarrierVariant = patterns.BarrierVariant
+	// BarrierLayout places the barrier kernel's data sections.
+	BarrierLayout = patterns.BarrierLayout
+	// RCULayout places the RCU kernel's data sections.
+	RCULayout = patterns.RCULayout
+	// CombLayout places the combining-lock kernel's data sections.
+	CombLayout = patterns.CombLayout
+)
+
+// Waiter strategies (the pattern scenarios' "wait" param).
+const (
+	// WaitSpin polls the word in a tight load loop.
+	WaitSpin = locks.WaitSpin
+	// WaitBackoffSpin polls with bounded exponential backoff.
+	WaitBackoffSpin = locks.WaitBackoffSpin
+	// WaitMwait sleeps on the word via the paper's Mwait primitive.
+	WaitMwait = locks.WaitMwait
+)
+
+// Barrier algorithm variants (the barrier scenario's "variant" param).
+const (
+	// BarrierCentral is a central sense-reversing barrier.
+	BarrierCentral = patterns.BarrierCentral
+	// BarrierTree is a binary combining-tree barrier (power-of-two cores).
+	BarrierTree = patterns.BarrierTree
+	// BarrierButterfly is a dissemination-style butterfly barrier
+	// (power-of-two cores).
+	BarrierButterfly = patterns.BarrierButterfly
+)
+
+// The pattern scenario kinds, registered alongside the paper figures.
+const (
+	KindBarrier  = patterns.KindBarrier
+	KindRCU      = patterns.KindRCU
+	KindCombLock = patterns.KindCombLock
+)
+
+// The pattern scenarios' Job.Params keys.
+const (
+	// PatternParamWait selects waiter strategies, e.g. "spin,mwait"
+	// (default: all three).
+	PatternParamWait = patterns.ParamWait
+	// PatternParamVariant selects barrier variants, e.g. "tree"
+	// (default: all three; barrier kind only).
+	PatternParamVariant = patterns.ParamVariant
+	// PatternParamMaxCombine caps ops combined per lock hold
+	// (comblock kind only; default 16).
+	PatternParamMaxCombine = patterns.ParamMaxCombine
+)
+
+// ParseWaitKind parses "spin", "backoff" or "mwait".
+func ParseWaitKind(s string) (WaitKind, error) { return locks.ParseWaitKind(s) }
+
+// WaitKinds returns every waiter strategy in canonical order.
+func WaitKinds() []WaitKind { return locks.WaitKinds() }
+
+// ParseBarrierVariant parses "central", "tree" or "butterfly".
+func ParseBarrierVariant(s string) (BarrierVariant, error) { return patterns.ParseBarrierVariant(s) }
+
+// BarrierVariants returns every barrier variant in canonical order.
+func BarrierVariants() []BarrierVariant { return patterns.BarrierVariants() }
+
+// NewBarrierLayout allocates the barrier data sections from l for
+// nActive participating cores.
+func NewBarrierLayout(l *Layout, nActive int) BarrierLayout {
+	return patterns.NewBarrierLayout(l, nActive)
+}
+
+// BarrierProgram builds the barrier kernel: each round publishes an
+// episode number, crosses the barrier, and (with verify) checks no
+// participant is still in an earlier episode. rounds <= 0 runs
+// endlessly for windowed measurement; positive rounds halt after that
+// many episodes.
+func BarrierProgram(v BarrierVariant, w WaitKind, lay BarrierLayout, backoff int32, rounds int, verify bool) *Program {
+	return patterns.BarrierProgram(v, w, lay, backoff, rounds, verify)
+}
+
+// NewRCULayout allocates the RCU data sections from l.
+func NewRCULayout(l *Layout) RCULayout { return patterns.NewRCULayout(l) }
+
+// InitRCU points the RCU published pointer at the first buffer; call
+// once before running the programs.
+func InitRCU(sys *System, lay RCULayout) { patterns.InitRCU(sys, lay) }
+
+// RCUWriterProgram builds the RCU writer (core 0): publish a new
+// version, then flip-and-wait twice to drain readers of the retired
+// epoch before poisoning its buffer. syncs <= 0 runs endlessly.
+func RCUWriterProgram(w WaitKind, lay RCULayout, backoff int32, syncs int) *Program {
+	return patterns.RCUWriterProgram(w, lay, backoff, syncs)
+}
+
+// RCUReaderProgram builds an RCU reader: register on the current
+// epoch's counter, dereference the published pointer, verify the
+// version is untorn, deregister.
+func RCUReaderProgram(lay RCULayout, bounded bool) *Program {
+	return patterns.RCUReaderProgram(lay, bounded)
+}
+
+// NewCombLayout allocates the combining-lock data sections from l for
+// nActive participating cores.
+func NewCombLayout(l *Layout, nActive int) CombLayout {
+	return patterns.NewCombLayout(l, nActive)
+}
+
+// InitCombLock seats the combining lock's tail sentinel; call once
+// before running the program.
+func InitCombLock(sys *System, lay CombLayout) { patterns.InitCombLock(sys, lay) }
+
+// CombLockProgram builds the CC-Synch-style combining-lock kernel:
+// each core enqueues a request node, and the lock holder combines up
+// to maxCombine queued requests per hold. iters <= 0 runs endlessly.
+func CombLockProgram(w WaitKind, lay CombLayout, maxCombine int, backoff int32, iters int) *Program {
+	return patterns.CombLockProgram(w, lay, maxCombine, backoff, iters)
 }
