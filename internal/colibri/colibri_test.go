@@ -199,7 +199,7 @@ func TestQnodeForwardsAndTracks(t *testing.T) {
 	if !n.TryIssue(lrw(3, 0)) {
 		t.Fatal("LRwait injection failed")
 	}
-	if got := n.Deliver(bus.Response{Op: bus.LRWait, Dst: 3, Data: 5, OK: true}); got == nil {
+	if _, ok := n.Deliver(bus.Response{Op: bus.LRWait, Dst: 3, Data: 5, OK: true}); !ok {
 		t.Fatal("grant swallowed")
 	}
 	if !n.TryIssue(scw(3, 0, 6)) {
@@ -209,7 +209,7 @@ func TestQnodeForwardsAndTracks(t *testing.T) {
 	if len(sink.q) != 2 {
 		t.Fatalf("wire has %d messages, want 2", len(sink.q))
 	}
-	if got := n.Deliver(bus.Response{Op: bus.SCWait, Dst: 3, OK: true}); got == nil {
+	if _, ok := n.Deliver(bus.Response{Op: bus.SCWait, Dst: 3, OK: true}); !ok {
 		t.Fatal("SC response swallowed")
 	}
 	if !n.Idle() {
@@ -266,8 +266,8 @@ func TestQnodeMwaitAutoCascade(t *testing.T) {
 	n.Deliver(bus.Response{Kind: bus.RespSuccUpdate, Dst: 0, Addr: 0,
 		Succ: 4, SuccOp: bus.MWait, SuccData: 0})
 	// The Mwait grant itself triggers the wake-up — no core action.
-	got := n.Deliver(bus.Response{Op: bus.MWait, Dst: 0, Addr: 0, Data: 1, OK: true})
-	if got == nil {
+	_, delivered := n.Deliver(bus.Response{Op: bus.MWait, Dst: 0, Addr: 0, Data: 1, OK: true})
+	if !delivered {
 		t.Fatal("Mwait grant swallowed")
 	}
 	last := sink.q[len(sink.q)-1]
@@ -398,7 +398,7 @@ func runProtocolSwarm(t *testing.T, seed uint64, nCores, increments, numQueues i
 			if len(toCore[i]) > 0 {
 				resp := toCore[i][0]
 				toCore[i] = toCore[i][1:]
-				if out := cores[i].node.Deliver(resp); out != nil {
+				if out, ok := cores[i].node.Deliver(resp); ok {
 					c := cores[i]
 					switch out.Op {
 					case bus.LRWait:
@@ -523,7 +523,7 @@ func TestMwaitBroadcastSwarm(t *testing.T) {
 			if len(toCore[i]) > 0 {
 				resp := toCore[i][0]
 				toCore[i] = toCore[i][1:]
-				if out := nodes[i].Deliver(resp); out != nil && out.Op == bus.MWait {
+				if out, ok := nodes[i].Deliver(resp); ok && out.Op == bus.MWait {
 					if woken[i] {
 						t.Fatalf("seed %d: core %d woken twice", seed, i)
 					}

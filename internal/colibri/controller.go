@@ -128,8 +128,13 @@ func (c *Controller) freeQueue() *queue {
 
 // Handle implements mem.Adapter.
 func (c *Controller) Handle(req bus.Request, s mem.Storage) []bus.Response {
+	return c.HandleAppend(req, s, nil)
+}
+
+// HandleAppend implements mem.AppendAdapter.
+func (c *Controller) HandleAppend(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if resp, wrote, ok := mem.HandleBasic(req, s); ok {
-		out := []bus.Response{resp}
+		out = append(out, resp)
 		if wrote {
 			out = c.onWrite(req.Addr, s, out)
 		}
@@ -137,26 +142,26 @@ func (c *Controller) Handle(req bus.Request, s mem.Storage) []bus.Response {
 	}
 	switch req.Op {
 	case bus.LRWait, bus.MWait:
-		return c.handleWait(req, s)
+		return c.handleWait(req, s, out)
 	case bus.SCWait:
-		return c.handleSCWait(req, s)
+		return c.handleSCWait(req, s, out)
 	case bus.WakeUpReq:
-		return c.handleWakeUp(req, s)
+		return c.handleWakeUp(req, s, out)
 	case bus.LR:
 		// Plain LRSC is superseded on a Colibri bank; read without a
 		// reservation so the SC fails and software retries with the
 		// wait pair.
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	case bus.SC:
 		c.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	}
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 }
 
 // handleWait processes LRwait and Mwait: allocate or append to a queue.
-func (c *Controller) handleWait(req bus.Request, s mem.Storage) []bus.Response {
+func (c *Controller) handleWait(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if q := c.findQueue(req.Addr); q != nil {
 		// Append behind the current tail and link via SuccessorUpdate.
 		// The update piggybacks the successor's operation and expected
@@ -165,10 +170,10 @@ func (c *Controller) handleWait(req bus.Request, s mem.Storage) []bus.Response {
 		q.tail = req.Src
 		c.Stats.Enqueues++
 		c.Stats.SuccUpdates++
-		return []bus.Response{{
+		return append(out, bus.Response{
 			Kind: bus.RespSuccUpdate, Dst: oldTail, Op: req.Op,
 			Addr: req.Addr, Succ: req.Src, SuccOp: req.Op, SuccData: req.Data,
-		}}
+		})
 	}
 	q := c.freeQueue()
 	if q == nil {
@@ -176,35 +181,35 @@ func (c *Controller) handleWait(req bus.Request, s mem.Storage) []bus.Response {
 		// following SCwait will fail, putting software on its retry
 		// path (Section III-B's LRSCwait_q fallback behaviour).
 		c.Stats.Refused++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	}
 	val := s.Read(req.Addr)
 	if req.Op == bus.MWait && val != req.Data {
 		// Value already changed: notify immediately, no queue needed.
 		c.Stats.Grants++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: val, OK: true}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: val, OK: true})
 	}
 	*q = queue{valid: true, addr: req.Addr, head: req.Src, tail: req.Src}
 	if req.Op == bus.MWait {
 		q.state = headServedMwait
 		q.headExpected = req.Data
-		return nil // response withheld until the value changes
+		return out // response withheld until the value changes
 	}
 	q.state = headServedLR
 	q.resValid = true
 	c.Stats.Grants++
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-		Data: val, OK: true}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+		Data: val, OK: true})
 }
 
-func (c *Controller) handleSCWait(req bus.Request, s mem.Storage) []bus.Response {
+func (c *Controller) handleSCWait(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	q := c.findQueue(req.Addr)
 	if q == nil || q.head != req.Src || q.state != headServedLR {
 		// No valid reservation (refused LRwait, stale SCwait): fail.
 		c.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	}
 	ok := q.resValid
 	if ok {
@@ -215,7 +220,7 @@ func (c *Controller) handleSCWait(req bus.Request, s mem.Storage) []bus.Response
 	}
 	// The SCwait yields the queue whether or not it succeeded.
 	c.dequeueHead(q)
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: ok}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: ok})
 }
 
 // dequeueHead retires the current head. If the head was alone the queue is
@@ -230,7 +235,7 @@ func (c *Controller) dequeueHead(q *queue) {
 	q.resValid = false
 }
 
-func (c *Controller) handleWakeUp(req bus.Request, s mem.Storage) []bus.Response {
+func (c *Controller) handleWakeUp(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	q := c.findQueue(req.Addr)
 	if q == nil || q.state != headAwaitWakeUp {
 		// Protocol violation: a WakeUpRequest is only ever generated for
@@ -248,18 +253,18 @@ func (c *Controller) handleWakeUp(req bus.Request, s mem.Storage) []bus.Response
 			// WakeUpRequest from the successor's Qnode (wake cascade).
 			c.Stats.Grants++
 			c.dequeueHead(q)
-			return []bus.Response{{Dst: req.Succ, Op: bus.MWait,
-				Addr: req.Addr, Data: val, OK: true}}
+			return append(out, bus.Response{Dst: req.Succ, Op: bus.MWait,
+				Addr: req.Addr, Data: val, OK: true})
 		}
 		q.state = headServedMwait
 		q.headExpected = req.SuccData
-		return nil
+		return out
 	}
 	q.state = headServedLR
 	q.resValid = true
 	c.Stats.Grants++
-	return []bus.Response{{Dst: req.Succ, Op: bus.LRWait, Addr: req.Addr,
-		Data: val, OK: true}}
+	return append(out, bus.Response{Dst: req.Succ, Op: bus.LRWait, Addr: req.Addr,
+		Data: val, OK: true})
 }
 
 // onWrite runs after every committed plain write: invalidate an armed

@@ -61,8 +61,10 @@ type Qnode struct {
 	succAddr uint32
 
 	// wakePending holds a WakeUpRequest that could not be injected due to
-	// backpressure; it drains with priority over new core requests.
-	wakePending *bus.Request
+	// backpressure (wakeValid set); it drains with priority over new core
+	// requests. Stored by value so the hot path never heap-allocates.
+	wakePending bus.Request
+	wakeValid   bool
 
 	Stats QnodeStats
 }
@@ -74,12 +76,12 @@ func NewQnode(coreID int, out ReqSink) *Qnode {
 
 // Busy reports whether the Qnode must drain protocol traffic before the
 // core may inject a new request.
-func (n *Qnode) Busy() bool { return n.wakePending != nil }
+func (n *Qnode) Busy() bool { return n.wakeValid }
 
 // Tick drains a pending WakeUpRequest if the network accepts it.
 func (n *Qnode) Tick() {
-	if n.wakePending != nil && n.out.TryPush(*n.wakePending) {
-		n.wakePending = nil
+	if n.wakeValid && n.out.TryPush(n.wakePending) {
+		n.wakeValid = false
 		n.Stats.WakeUpsSent++
 	}
 }
@@ -91,14 +93,15 @@ func (n *Qnode) sendWakeUp(addr uint32) {
 	req := bus.Request{Op: bus.WakeUpReq, Addr: addr, Src: n.coreID,
 		Succ: n.succ, SuccOp: n.succOp, SuccData: n.succData}
 	n.succ = -1
-	if n.wakePending != nil {
+	if n.wakeValid {
 		panic(fmt.Sprintf("colibri: qnode %d double wake-up", n.coreID))
 	}
 	if n.out.TryPush(req) {
 		n.Stats.WakeUpsSent++
 		return
 	}
-	n.wakePending = &req
+	n.wakePending = req
+	n.wakeValid = true
 }
 
 // TryIssue injects a core request into the network, updating episode
@@ -106,7 +109,7 @@ func (n *Qnode) sendWakeUp(addr uint32) {
 // retries next cycle). For SCwait, a known successor's WakeUpRequest is
 // queued immediately behind it on the same ordered channel.
 func (n *Qnode) TryIssue(req bus.Request) bool {
-	if n.wakePending != nil {
+	if n.wakeValid {
 		return false // drain protocol traffic first; preserves ordering
 	}
 	switch req.Op {
@@ -151,9 +154,11 @@ func (n *Qnode) TryIssue(req bus.Request) bool {
 }
 
 // Deliver processes a message arriving from the response network. It
-// returns the response to hand to the core, or nil when the message was
-// protocol-internal (a SuccessorUpdate).
-func (n *Qnode) Deliver(resp bus.Response) *bus.Response {
+// returns the response to hand to the core; the boolean is false when the
+// message was protocol-internal (a SuccessorUpdate) and nothing reaches
+// the core. Returning by value keeps the response on the stack — the old
+// *bus.Response signature forced a heap escape per delivered message.
+func (n *Qnode) Deliver(resp bus.Response) (bus.Response, bool) {
 	if resp.Kind == bus.RespSuccUpdate {
 		n.Stats.SuccUpdates++
 		if n.succ >= 0 {
@@ -172,7 +177,7 @@ func (n *Qnode) Deliver(resp bus.Response) *bus.Response {
 			n.Stats.Bounces++
 			n.sendWakeUp(resp.Addr)
 		}
-		return nil
+		return bus.Response{}, false
 	}
 	switch resp.Op {
 	case bus.LRWait:
@@ -206,17 +211,17 @@ func (n *Qnode) Deliver(resp bus.Response) *bus.Response {
 		n.state = nodeIdle
 		n.pendingOp = bus.Nop
 	}
-	return &resp
+	return resp, true
 }
 
 // State returns a debug description (tests and tracing).
 func (n *Qnode) State() string {
 	states := [...]string{"idle", "wait-grant", "granted", "wait-sc"}
 	return fmt.Sprintf("qnode%d{%s succ=%d scPassed=%v wakePending=%v}",
-		n.coreID, states[n.state], n.succ, n.scPassed, n.wakePending != nil)
+		n.coreID, states[n.state], n.succ, n.scPassed, n.wakeValid)
 }
 
 // Idle reports whether the Qnode holds no episode state (quiescence checks).
 func (n *Qnode) Idle() bool {
-	return n.state == nodeIdle && n.succ < 0 && !n.scPassed && n.wakePending == nil
+	return n.state == nodeIdle && n.succ < 0 && !n.scPassed && !n.wakeValid
 }

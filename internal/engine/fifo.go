@@ -61,7 +61,12 @@ func (f *FIFO[T]) Push(v T) bool {
 	if f.count == len(f.buf) {
 		return false
 	}
-	idx := (f.head + f.count) % len(f.buf)
+	// head+count < 2*len always holds, so a compare-and-subtract wrap
+	// replaces the integer division of a modulo on this hot path.
+	idx := f.head + f.count
+	if idx >= len(f.buf) {
+		idx -= len(f.buf)
+	}
 	f.buf[idx] = entry[T]{val: v, at: f.clock.Now()}
 	f.count++
 	if f.onPush != nil {
@@ -94,7 +99,10 @@ func (f *FIFO[T]) Pop() (T, bool) {
 	}
 	v := f.buf[f.head].val
 	f.buf[f.head] = entry[T]{} // release references
-	f.head = (f.head + 1) % len(f.buf)
+	f.head++
+	if f.head == len(f.buf) {
+		f.head = 0
+	}
 	f.count--
 	if f.onPop != nil {
 		f.onPop()

@@ -1,0 +1,46 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/engine"
+)
+
+// BenchmarkBankTick measures one full bank service cycle: pop a request,
+// run the adapter, push the response. AMO is the paper's hot operation
+// (single-round-trip atomics), so it is the regime that matters. The
+// HandleAppend path reuses the bank's scratch buffer, so steady state
+// must run at 0 allocs/op.
+func BenchmarkBankTick(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		op   bus.Op
+	}{
+		{"op=amoadd", bus.AmoAdd},
+		{"op=load", bus.Load},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var clock engine.Clock
+			in := engine.NewFIFO[bus.Request](2, &clock)
+			out := engine.NewFIFO[bus.Response](2, &clock)
+			bank := NewBank(0, 1, 64, PlainAdapter{}, in, out)
+
+			step := func() {
+				in.Push(bus.Request{Op: tc.op, Addr: 0, Data: 1, Src: 0})
+				clock.Advance()
+				bank.Tick()
+				clock.Advance()
+				if _, ok := out.Pop(); !ok {
+					b.Fatal("no response after bank tick")
+				}
+			}
+			step() // warm the scratch buffer before measuring
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+}

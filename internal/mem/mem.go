@@ -37,6 +37,17 @@ type Adapter interface {
 	Name() string
 }
 
+// AppendAdapter is an optional Adapter extension for the hot path: the
+// responses are appended to a caller-provided buffer instead of a fresh
+// slice per request. Banks detect it once at construction and reuse a
+// per-bank scratch buffer, making a steady-state Tick allocation-free.
+// Every built-in adapter implements it (with Handle delegating), and
+// custom adapters that don't still work through plain Handle.
+type AppendAdapter interface {
+	Adapter
+	HandleAppend(req bus.Request, s Storage, out []bus.Response) []bus.Response
+}
+
 // AdapterStats is the policy-level event vocabulary shared by every
 // reservation adapter: how many reservations were granted or refused,
 // how store-conditionals fared, and how many armed reservations were
@@ -123,6 +134,10 @@ type Bank struct {
 	numBanks int
 	words    []uint32
 	adapter  Adapter
+	// appender is the adapter's AppendAdapter view, resolved once at
+	// construction so the per-request dispatch needs no type assertion
+	// and no fresh response slice (nil when the adapter is Handle-only).
+	appender AppendAdapter
 
 	// In is the request delivery FIFO (owned by the fabric).
 	In *engine.FIFO[bus.Request]
@@ -132,6 +147,8 @@ type Bank struct {
 	// pending holds responses produced but not yet pushed (the response
 	// port moves one per cycle).
 	pending []bus.Response
+	// scratch is the reusable HandleAppend buffer.
+	scratch []bus.Response
 
 	Stats Stats
 }
@@ -143,7 +160,7 @@ func NewBank(id, numBanks, wordsPerBank int, adapter Adapter,
 	if adapter == nil {
 		panic("mem: nil adapter")
 	}
-	return &Bank{
+	b := &Bank{
 		id:       id,
 		numBanks: numBanks,
 		words:    make([]uint32, wordsPerBank),
@@ -151,6 +168,10 @@ func NewBank(id, numBanks, wordsPerBank int, adapter Adapter,
 		In:       in,
 		Out:      out,
 	}
+	if aa, ok := adapter.(AppendAdapter); ok {
+		b.appender = aa
+	}
+	return b
 }
 
 // BankID implements Storage.
@@ -207,13 +228,18 @@ func (b *Bank) Tick() {
 			return
 		}
 	}
-	req, ok := b.In.Peek()
+	req, ok := b.In.Pop()
 	if !ok {
 		return
 	}
-	b.In.Pop()
 	b.Stats.Accesses++
-	resps := b.adapter.Handle(req, b)
+	var resps []bus.Response
+	if b.appender != nil {
+		b.scratch = b.appender.HandleAppend(req, b, b.scratch[:0])
+		resps = b.scratch
+	} else {
+		resps = b.adapter.Handle(req, b)
+	}
 	b.Stats.Responses += uint64(len(resps))
 	for _, r := range resps {
 		if len(b.pending) == 0 && b.Out.Push(r) {

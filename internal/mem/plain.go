@@ -35,19 +35,24 @@ type PlainAdapter struct{}
 func (PlainAdapter) Name() string { return "plain" }
 
 // Handle implements Adapter.
-func (PlainAdapter) Handle(req bus.Request, s Storage) []bus.Response {
+func (a PlainAdapter) Handle(req bus.Request, s Storage) []bus.Response {
+	return a.HandleAppend(req, s, nil)
+}
+
+// HandleAppend implements AppendAdapter.
+func (PlainAdapter) HandleAppend(req bus.Request, s Storage, out []bus.Response) []bus.Response {
 	if resp, _, ok := HandleBasic(req, s); ok {
-		return []bus.Response{resp}
+		return append(out, resp)
 	}
 	switch req.Op {
 	case bus.LR, bus.LRWait, bus.MWait:
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	case bus.SC, bus.SCWait:
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.WakeUpReq:
 		// No queues to wake; drop.
-		return nil
+		return out
 	}
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 }

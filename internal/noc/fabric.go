@@ -59,6 +59,75 @@ type Fabric struct {
 	// shard, when non-nil, switches the dirty tracking to the
 	// partition-parallel atomic bitsets (see Shard in shard.go).
 	shard *fabricShard
+
+	// rt holds the precomputed routing tables the per-router route
+	// closures index instead of recomputing divisions per message.
+	rt routeTables
+}
+
+// routeTables flattens every routing decision the fabric makes into
+// table lookups indexed by bank or core ID. The route closures run once
+// per occupied router input per cycle — the hottest call site in a
+// traffic-heavy simulation — and the topology arithmetic behind them
+// (BankOfAddr, TileOfBank, GroupOfBank and the response-side mirrors) is
+// all integer division. The tables cost a few bytes per bank/core and
+// turn each decision into one or two indexed loads.
+type routeTables struct {
+	// Address → bank: word-interleaved. Power-of-two bank counts (every
+	// built-in topology) use the mask; others keep the modulo.
+	bankMask uint32
+	bankMod  uint32
+	usesMask bool
+
+	tileOfBank     []int32  // owning tile, for the local/remote branch
+	bankPortLocal  []uint16 // tile-router port when the bank is tile-local
+	bankPortRemote []uint16 // tile-router egress port toward the bank's group
+	bankPortGroup  []uint16 // group-router port toward the bank's tile
+
+	tileOfCore     []int32
+	corePortLocal  []uint16
+	corePortRemote []uint16
+	corePortGroup  []uint16
+}
+
+func buildRouteTables(topo Topology) routeTables {
+	nBanks, nCores := topo.NumBanks(), topo.NumCores()
+	rt := routeTables{
+		bankMod:        uint32(nBanks),
+		bankMask:       uint32(nBanks - 1),
+		usesMask:       nBanks&(nBanks-1) == 0,
+		tileOfBank:     make([]int32, nBanks),
+		bankPortLocal:  make([]uint16, nBanks),
+		bankPortRemote: make([]uint16, nBanks),
+		bankPortGroup:  make([]uint16, nBanks),
+		tileOfCore:     make([]int32, nCores),
+		corePortLocal:  make([]uint16, nCores),
+		corePortRemote: make([]uint16, nCores),
+		corePortGroup:  make([]uint16, nCores),
+	}
+	for b := 0; b < nBanks; b++ {
+		rt.tileOfBank[b] = int32(topo.TileOfBank(b))
+		rt.bankPortLocal[b] = uint16(b % topo.BanksPerTile)
+		rt.bankPortRemote[b] = uint16(topo.BanksPerTile + topo.GroupOfBank(b))
+		rt.bankPortGroup[b] = uint16(topo.TileOfBank(b) % topo.TilesPerGroup)
+	}
+	for c := 0; c < nCores; c++ {
+		rt.tileOfCore[c] = int32(topo.TileOfCore(c))
+		rt.corePortLocal[c] = uint16(c % topo.CoresPerTile)
+		rt.corePortRemote[c] = uint16(topo.CoresPerTile + topo.GroupOfCore(c))
+		rt.corePortGroup[c] = uint16(topo.TileOfCore(c) % topo.TilesPerGroup)
+	}
+	return rt
+}
+
+// bankOf maps a byte address to its bank — Topology.BankOfAddr with the
+// division strength-reduced to a mask for power-of-two bank counts.
+func (rt *routeTables) bankOf(addr uint32) int {
+	w := addr >> 2
+	if rt.usesMask {
+		return int(w & rt.bankMask)
+	}
+	return int(w % rt.bankMod)
 }
 
 // NewFabric builds the fabric. depth is the capacity of every FIFO stage;
@@ -71,7 +140,8 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 	if depth <= 0 {
 		depth = 2
 	}
-	f := &Fabric{Topo: topo, Clock: clock}
+	f := &Fabric{Topo: topo, Clock: clock, rt: buildRouteTables(topo)}
+	rt := &f.rt
 
 	nCores, nBanks := topo.NumCores(), topo.NumBanks()
 	nTiles, nGroups := topo.NumTiles(), topo.NumGroups
@@ -146,12 +216,13 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 			out = append(out, f.BankReq[t*topo.BanksPerTile+b])
 		}
 		out = append(out, tileEgressReq[t]...)
+		tt := int32(t)
 		route := func(r bus.Request) int {
-			bank := topo.BankOfAddr(r.Addr)
-			if topo.TileOfBank(bank) == t {
-				return bank % topo.BanksPerTile
+			bank := rt.bankOf(r.Addr)
+			if rt.tileOfBank[bank] == tt {
+				return int(rt.bankPortLocal[bank])
 			}
-			return topo.BanksPerTile + topo.GroupOfBank(bank)
+			return int(rt.bankPortRemote[bank])
 		}
 		f.reqRouters = append(f.reqRouters, NewRouter("tile-req", in, out, route))
 	}
@@ -182,7 +253,7 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 			out = append(out, tileIngressReq[g*topo.TilesPerGroup+ti])
 		}
 		route := func(r bus.Request) int {
-			return topo.TileOfBank(topo.BankOfAddr(r.Addr)) % topo.TilesPerGroup
+			return int(rt.bankPortGroup[rt.bankOf(r.Addr)])
 		}
 		f.reqRouters = append(f.reqRouters, NewRouter("group-req", in, out, route))
 	}
@@ -201,11 +272,12 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 			out = append(out, f.CoreResp[t*topo.CoresPerTile+c])
 		}
 		out = append(out, tileEgressResp[t]...)
+		tt := int32(t)
 		route := func(r bus.Response) int {
-			if topo.TileOfCore(r.Dst) == t {
-				return r.Dst % topo.CoresPerTile
+			if rt.tileOfCore[r.Dst] == tt {
+				return int(rt.corePortLocal[r.Dst])
 			}
-			return topo.CoresPerTile + topo.GroupOfCore(r.Dst)
+			return int(rt.corePortRemote[r.Dst])
 		}
 		f.respRouters = append(f.respRouters, NewRouter("tile-resp", in, out, route))
 	}
@@ -233,7 +305,7 @@ func NewFabric(topo Topology, clock *engine.Clock, depth int) *Fabric {
 			out = append(out, tileIngressResp[g*topo.TilesPerGroup+ti])
 		}
 		route := func(r bus.Response) int {
-			return topo.TileOfCore(r.Dst) % topo.TilesPerGroup
+			return int(rt.corePortGroup[r.Dst])
 		}
 		f.respRouters = append(f.respRouters, NewRouter("group-resp", in, out, route))
 	}

@@ -26,8 +26,14 @@ type Router[T any] struct {
 	rr []int
 	// Forwards counts messages moved, for the energy model.
 	Forwards uint64
-	// taken marks inputs that already forwarded this cycle.
-	taken []bool
+	// heads and ro cache, for the duration of one Tick, each input's
+	// visible head and the output port it routes to (ro[i] < 0: input
+	// empty, head not yet visible, or already forwarded this cycle).
+	// route() therefore runs once per occupied input instead of once per
+	// (output, input) probe, and the consumed marker doubles as the old
+	// per-tick taken[] array without the O(inputs) clear.
+	heads []T
+	ro    []int32
 }
 
 // NewRouter creates a router with the given input and output ports.
@@ -38,50 +44,58 @@ func NewRouter[T any](name string, in, out []*engine.FIFO[T], route func(T) int)
 		panic(fmt.Sprintf("noc: router %s needs ports", name))
 	}
 	return &Router[T]{Name: name, in: in, out: out, route: route,
-		rr: make([]int, len(out)), taken: make([]bool, len(in))}
+		rr: make([]int, len(out)), heads: make([]T, len(in)), ro: make([]int32, len(in))}
 }
 
 // Tick forwards up to one message per output port (and at most one per
 // input port), with independent round-robin arbitration per output. It
 // returns the number of messages moved.
+//
+// The pass is input-major: each visible head is peeked and routed exactly
+// once, then every output picks the first cached candidate in its
+// round-robin order. Because each head routes to exactly one output and a
+// forwarded input is marked consumed (ro[i] = -1), the winner per output —
+// and therefore every push, pop and rr update — is identical to the
+// output-major scan with a per-tick taken[] array.
 func (r *Router[T]) Tick() int {
-	n := len(r.in)
-	// Fast path: nothing queued anywhere.
-	busy := false
-	for _, f := range r.in {
-		if f.Len() > 0 {
-			busy = true
-			break
+	any := false
+	for i, f := range r.in {
+		if head, ok := f.Peek(); ok {
+			r.heads[i] = head
+			r.ro[i] = int32(r.route(head))
+			any = true
+		} else {
+			r.ro[i] = -1
 		}
 	}
-	if !busy {
+	if !any {
 		return 0
 	}
-	for i := range r.taken {
-		r.taken[i] = false
-	}
+	n := len(r.in)
 	moved := 0
 	for o := range r.out {
 		if r.out[o].Full() {
 			continue
 		}
-		for k := 0; k < n; k++ {
-			i := (r.rr[o] + k) % n
-			if r.taken[i] {
-				continue
+		oo := int32(o)
+		for k, i := 0, r.rr[o]; k < n; k++ {
+			if i >= n {
+				i -= n
 			}
-			head, ok := r.in[i].Peek()
-			if !ok || r.route(head) != o {
-				continue // HOL blocking: only the head is considered
-			}
-			if !r.out[o].Push(head) {
+			// HOL blocking: only the (cached) head is considered.
+			if r.ro[i] == oo {
+				if !r.out[o].Push(r.heads[i]) {
+					break // aliased output filled by an earlier port
+				}
+				r.in[i].Pop()
+				r.ro[i] = -1
+				if r.rr[o] = i + 1; r.rr[o] == n {
+					r.rr[o] = 0
+				}
+				moved++
 				break
 			}
-			r.in[i].Pop()
-			r.taken[i] = true
-			r.rr[o] = (i + 1) % n
-			moved++
-			break
+			i++
 		}
 	}
 	r.Forwards += uint64(moved)

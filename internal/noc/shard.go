@@ -49,6 +49,10 @@ type fabricShard struct {
 	// router layout is identical in both networks, so one mask set
 	// serves both dirty bitsets.
 	masks [][numClasses][]wordMask
+	// crossMasks selects every cross-tile router (ClassLink + ClassGroup,
+	// all partitions) — the QuietCrossTile test the fused-cycle fast path
+	// is gated on.
+	crossMasks []wordMask
 }
 
 // PartScratch is one partition's per-cycle snapshot of its dirty
@@ -91,16 +95,27 @@ func (f *Fabric) Shard(nParts int, tilePart func(tile int) int) {
 		masks:     make([][numClasses][]wordMask, nParts),
 	}
 	acc := make([][numClasses]map[int]uint64, nParts)
+	crossAcc := map[int]uint64{}
 	for i := 0; i < n; i++ {
 		class, within := f.routerClass(i)
 		part := within % nParts
 		if class == ClassTile {
 			part = tilePart(within)
+		} else {
+			crossAcc[i>>6] |= 1 << uint(i&63)
 		}
 		if acc[part][class] == nil {
 			acc[part][class] = map[int]uint64{}
 		}
 		acc[part][class][i>>6] |= 1 << uint(i&63)
+	}
+	crossWords := make([]int, 0, len(crossAcc))
+	for w := range crossAcc {
+		crossWords = append(crossWords, w)
+	}
+	sort.Ints(crossWords)
+	for _, w := range crossWords {
+		sh.crossMasks = append(sh.crossMasks, wordMask{w: w, mask: crossAcc[w]})
 	}
 	for p := range acc {
 		for c := 0; c < numClasses; c++ {
@@ -197,4 +212,22 @@ func (f *Fabric) TickShardClass(sc *PartScratch, class int) int {
 // barrier or with no workers running).
 func (f *Fabric) ShardBusy() bool {
 	return f.shard.reqDirty.Any() || f.shard.respDirty.Any()
+}
+
+// QuietCrossTile reports whether every cross-tile router — the link
+// arbiters and group distribution routers of both networks — is clean.
+// When it holds at a cycle boundary, the next cycle moves no message
+// through either class (their input FIFOs are drained and only tile
+// ticks can refill them, one barrier-equivalent later), so the
+// partitioned kernel may run that cycle with a single end barrier
+// instead of four. Only meaningful between cycles, like ShardBusy.
+func (f *Fabric) QuietCrossTile() bool {
+	sh := f.shard
+	for _, wm := range sh.crossMasks {
+		if sh.reqDirty.LoadWord(wm.w)&wm.mask != 0 ||
+			sh.respDirty.LoadWord(wm.w)&wm.mask != 0 {
+			return false
+		}
+	}
+	return true
 }

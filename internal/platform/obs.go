@@ -13,9 +13,10 @@ import (
 // last one — required because many Systems (the points of a sweep) feed
 // the same cumulative process-wide registry.
 type obsTotals struct {
-	kernel     KernelStats
-	heapPushes uint64
-	heapPops   uint64
+	kernel      KernelStats
+	heapPushes  uint64
+	heapPops    uint64
+	fusedCycles uint64
 
 	deliveries uint64
 
@@ -34,10 +35,15 @@ type obsTotals struct {
 func (s *System) collectTotals() obsTotals {
 	t := obsTotals{kernel: s.Kernel}
 	if s.par != nil {
+		// heapCarry* preserve a pre-migration sequential scheduler's
+		// totals on adaptively partitioned systems (zero otherwise).
+		t.heapPushes = s.heapCarryPushes
+		t.heapPops = s.heapCarryPops
 		for _, p := range s.par.parts {
 			t.heapPushes += p.slots.HeapPushes
 			t.heapPops += p.slots.HeapPops
 		}
+		t.fusedCycles = s.par.fusedCycles
 	} else {
 		t.heapPushes = s.slots.HeapPushes
 		t.heapPops = s.slots.HeapPops
@@ -133,6 +139,7 @@ func (s *System) PublishObs(reg *obs.Registry) {
 	// their exact metric set.
 	if s.par != nil {
 		reg.Gauge("kernel.partitions").Set(int64(s.par.nParts))
+		addNZ(reg, "kernel.fused_cycles", cur.fusedCycles-prev.fusedCycles)
 		for i, p := range s.par.parts {
 			pk, prevPK := p.stats, s.lastPubParts[i]
 			s.lastPubParts[i] = pk

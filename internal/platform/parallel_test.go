@@ -193,12 +193,10 @@ func TestPartitionResolution(t *testing.T) {
 	if got := mk(7).Partitions(); got != topo.NumTiles() {
 		t.Fatalf("partitions=7 resolved to %d, want clamp to %d tiles", got, topo.NumTiles())
 	}
-	want := runtime.GOMAXPROCS(0)
-	if want > topo.NumTiles() {
-		want = topo.NumTiles()
-	}
-	if got := mk(platform.PartitionsAuto).Partitions(); got != want {
-		t.Fatalf("PartitionsAuto resolved to %d, want min(GOMAXPROCS, tiles) = %d", got, want)
+	// PartitionsAuto starts on the sequential kernel and only adopts
+	// partitions after measuring per-cycle work (see the adaptive tests).
+	if got := mk(platform.PartitionsAuto).Partitions(); got != 1 {
+		t.Fatalf("PartitionsAuto resolved to %d at construction, want 1 (calibrating)", got)
 	}
 	platform.SetDefaultPartitions(2)
 	defer platform.SetDefaultPartitions(0)
@@ -221,6 +219,222 @@ func TestPartitionResolution(t *testing.T) {
 	a.RunParallel(100)
 	b.Run(100)
 	requireSameActivity(t, int(a.Clock.Now()), a.Snapshot(), b.Snapshot())
+}
+
+// autoKnobs tightens the adaptive-partitioning thresholds and raises
+// GOMAXPROCS so the small test topology can justify partitions, and
+// restores everything on cleanup.
+func autoKnobs(t *testing.T, workPerPart, calTicks int) {
+	t.Helper()
+	prevProcs := runtime.GOMAXPROCS(4)
+	prevWork, prevTicks := platform.AutoWorkPerPartition, platform.AutoCalibrationTicks
+	platform.AutoWorkPerPartition, platform.AutoCalibrationTicks = workPerPart, calTicks
+	t.Cleanup(func() {
+		runtime.GOMAXPROCS(prevProcs)
+		platform.AutoWorkPerPartition, platform.AutoCalibrationTicks = prevWork, prevTicks
+	})
+}
+
+// TestPartitionsAutoAdaptive pins the adaptive PartitionsAuto path: the
+// system starts sequential, migrates to the partitioned kernel once the
+// measured per-cycle work justifies it, and stays cycle-for-cycle
+// identical to a sequential reference through the migration — including
+// the aggregate kernel stats and the published wake-heap totals.
+func TestPartitionsAutoAdaptive(t *testing.T) {
+	autoKnobs(t, 4, 64)
+	topo := noc.Small()
+	progFor := parityPrograms(platform.PolicyPlain, topo, 8)
+	seq := platform.New(platform.Config{Topo: topo, Policy: platform.PolicyPlain}, progFor)
+	aut := platform.New(platform.Config{Topo: topo, Policy: platform.PolicyPlain,
+		Partitions: platform.PartitionsAuto}, progFor)
+	if got := aut.Partitions(); got != 1 {
+		t.Fatalf("auto system born with %d partitions, want 1 (calibrating)", got)
+	}
+	for cycle := 0; cycle <= 1200; cycle++ {
+		requireSameActivity(t, cycle, seq.Snapshot(), aut.Snapshot())
+		seq.Tick()
+		aut.Tick()
+	}
+	if got := aut.Partitions(); got <= 1 {
+		t.Fatalf("auto system never adopted partitions on a hot workload (still %d)", got)
+	}
+	requireSameKernelStats(t, seq, aut)
+	requireSameMemory(t, seq, aut)
+
+	// The wake-heap obs totals must survive the migration exactly: the
+	// pre-migration pushes are carried, the migrated entries are moves.
+	seqReg, autReg := obs.NewRegistry(), obs.NewRegistry()
+	seq.PublishObs(seqReg)
+	aut.PublishObs(autReg)
+	seqSnap, autSnap := seqReg.Snapshot(), autReg.Snapshot()
+	for _, name := range []string{"kernel.heap.pushes", "kernel.heap.pops"} {
+		if sv, av := seqSnap.Counter(name), autSnap.Counter(name); sv != av {
+			t.Fatalf("%s: seq=%d auto=%d", name, sv, av)
+		}
+	}
+}
+
+// TestPartitionsAutoRunParity drives the adaptive system through the
+// run loops, so the migration happens inside a Run window and the
+// remaining budget is handed to the partitioned driver.
+func TestPartitionsAutoRunParity(t *testing.T) {
+	autoKnobs(t, 4, 64)
+	topo := noc.Small()
+	progFor := parityPrograms(platform.PolicyPlain, topo, 8)
+	cfg := platform.Config{Topo: topo, Policy: platform.PolicyPlain}
+	seq := platform.New(cfg, progFor)
+	cfg.Partitions = platform.PartitionsAuto
+	aut := platform.New(cfg, progFor)
+	seqHalted := seq.RunUntilHalted(300000)
+	autHalted := aut.RunUntilHalted(300000)
+	if seqHalted != autHalted || !seqHalted {
+		t.Fatalf("halted: seq=%v auto=%v", seqHalted, autHalted)
+	}
+	if aut.Partitions() <= 1 {
+		t.Fatal("auto system never adopted partitions inside RunUntilHalted")
+	}
+	if seq.Clock.Now() != aut.Clock.Now() {
+		t.Fatalf("clock: seq=%d auto=%d", seq.Clock.Now(), aut.Clock.Now())
+	}
+	requireSameActivity(t, int(seq.Clock.Now()), seq.Snapshot(), aut.Snapshot())
+	requireSameKernelStats(t, seq, aut)
+	requireSameMemory(t, seq, aut)
+}
+
+// TestPartitionsAutoStaysSequentialWhenCold pins the other half of the
+// contract: under the default thresholds a small system's trickle of
+// per-cycle work cannot justify a partition, so the auto system never
+// pays for sharding it cannot amortize.
+func TestPartitionsAutoStaysSequentialWhenCold(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	topo := noc.Small()
+	progFor := parityPrograms(platform.PolicyPlain, topo, 8)
+	aut := platform.New(platform.Config{Topo: topo, Policy: platform.PolicyPlain,
+		Partitions: platform.PartitionsAuto}, progFor)
+	aut.Run(2 * platform.AutoCalibrationTicks)
+	if got := aut.Partitions(); got != 1 {
+		t.Fatalf("16-core system adopted %d partitions under default thresholds, want 1", got)
+	}
+}
+
+// epochCrossingProgram alternates same-tile AMO spans (every cross-tile
+// router stays clean, so the partitioned kernel may fuse its barriers)
+// with cross-tile AMO bursts (link arbiters wake, forcing the full
+// four-barrier schedule), staggered by core ID so partitions enter and
+// leave fused mode at ragged, different times. Both test topologies
+// share CoresPerTile=4 and BanksPerTile=16, which the address
+// arithmetic hardcodes.
+func epochCrossingProgram(core int) *isa.Program {
+	b := isa.NewBuilder()
+	b.CoreID(isa.T0)
+	b.Srli(isa.T1, isa.T0, 2) // tile = core/4
+	b.Slli(isa.T1, isa.T1, 4) // first bank word of the tile
+	b.Andi(isa.T2, isa.T0, 3)
+	b.Add(isa.T1, isa.T1, isa.T2)
+	b.Slli(isa.T1, isa.T1, 2)  // byte address of a same-tile bank word
+	b.Addi(isa.T2, isa.T1, 64) // +16 words: the same slot one tile over
+	b.Addi(isa.A0, isa.T0, 3)  // per-core pause length
+	b.Li(isa.S0, int32(3+core%3))
+	b.Label("round")
+	b.Li(isa.S1, int32(12+core%7)) // quiet span: same-tile AMOs only
+	b.Label("quiet")
+	b.AmoAdd(isa.Zero, isa.S1, isa.T1)
+	b.Addi(isa.S1, isa.S1, -1)
+	b.Bnez(isa.S1, "quiet")
+	b.Pause(isa.A0)               // park; the span stays cross-tile quiet
+	b.Li(isa.S1, int32(2+core%3)) // burst: cross-tile AMOs wake arbiters
+	b.Label("burst")
+	b.AmoAdd(isa.Zero, isa.S1, isa.T2)
+	b.Addi(isa.S1, isa.S1, -1)
+	b.Bnez(isa.S1, "burst")
+	b.Addi(isa.S0, isa.S0, -1)
+	b.Bnez(isa.S0, "round")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestParallelParityEpochCrossing pins the fused-cycle fast path across
+// epoch transitions: a workload that repeatedly enters and leaves
+// cross-tile-quiet spans must stay cycle-for-cycle identical to the
+// sequential kernel with barrier fusing on and off, for every partition
+// count — and the fused counter must prove both modes actually ran.
+func TestParallelParityEpochCrossing(t *testing.T) {
+	orig := platform.FusedCyclesEnabled
+	defer func() { platform.FusedCyclesEnabled = orig }()
+	for _, enabled := range []bool{true, false} {
+		for _, parts := range parityPartCounts() {
+			enabled, parts := enabled, parts
+			t.Run(fmt.Sprintf("fused=%v/p%d", enabled, parts), func(t *testing.T) {
+				platform.FusedCyclesEnabled = enabled
+				cfg := platform.SmallConfig(platform.PolicyPlain)
+				seq := platform.New(cfg, epochCrossingProgram)
+				cfg.Partitions = parts
+				par := platform.New(cfg, epochCrossingProgram)
+				const maxCycles = 6000
+				cycle := 0
+				for ; cycle < maxCycles; cycle++ {
+					requireSameActivity(t, cycle, seq.Snapshot(), par.Snapshot())
+					if seq.AllHalted() {
+						break
+					}
+					seq.Tick()
+					par.TickParallel()
+				}
+				if !seq.AllHalted() || !par.AllHalted() {
+					t.Fatalf("workload did not halt within %d cycles", maxCycles)
+				}
+				requireSameKernelStats(t, seq, par)
+				requireSameMemory(t, seq, par)
+				fused := par.FusedCycles()
+				if !enabled && fused != 0 {
+					t.Fatalf("fusing disabled but %d cycles fused", fused)
+				}
+				if enabled && fused == 0 && par.Partitions() > 1 {
+					t.Fatal("fusing enabled but no cycle fused")
+				}
+				if enabled && fused >= uint64(cycle) {
+					t.Fatalf("all %d cycles fused; the cross-tile bursts should have forced full barriers", cycle)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRunEpochCrossing drives the same epoch-crossing workload
+// through the worker-driven run loop in windows that deliberately cut
+// through fused spans, checking the leader's per-window fuse decisions
+// against the sequential kernel's clock, snapshot and stats.
+func TestParallelRunEpochCrossing(t *testing.T) {
+	orig := platform.FusedCyclesEnabled
+	defer func() { platform.FusedCyclesEnabled = orig }()
+	platform.FusedCyclesEnabled = true
+	for _, parts := range parityPartCounts() {
+		parts := parts
+		t.Run(fmt.Sprintf("p%d", parts), func(t *testing.T) {
+			cfg := platform.SmallConfig(platform.PolicyPlain)
+			seq := platform.New(cfg, epochCrossingProgram)
+			cfg.Partitions = parts
+			par := platform.New(cfg, epochCrossingProgram)
+			for _, window := range []int{113, 517, 61, 2000, 3001} {
+				seq.Run(window)
+				par.Run(window)
+				if seq.Clock.Now() != par.Clock.Now() {
+					t.Fatalf("clock after window %d: seq=%d par=%d",
+						window, seq.Clock.Now(), par.Clock.Now())
+				}
+				requireSameActivity(t, int(seq.Clock.Now()), seq.Snapshot(), par.Snapshot())
+			}
+			if !seq.AllHalted() || !par.AllHalted() {
+				t.Fatal("epoch-crossing workload should halt inside the windows")
+			}
+			requireSameKernelStats(t, seq, par)
+			requireSameMemory(t, seq, par)
+			if par.FusedCycles() == 0 && par.Partitions() > 1 {
+				t.Fatal("run loop never fused a cycle on a quiet-span workload")
+			}
+		})
+	}
 }
 
 // TestParallelPublishObs checks the partitioned kernel's observability:

@@ -53,12 +53,17 @@ func (a *SingleSlot) AdapterStats() mem.AdapterStats { return a.Stats }
 
 // Handle implements mem.Adapter.
 func (a *SingleSlot) Handle(req bus.Request, s mem.Storage) []bus.Response {
+	return a.HandleAppend(req, s, nil)
+}
+
+// HandleAppend implements mem.AppendAdapter.
+func (a *SingleSlot) HandleAppend(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if resp, wrote, ok := mem.HandleBasic(req, s); ok {
 		if wrote && a.valid && a.addr == req.Addr {
 			a.valid = false
 			a.Stats.Invalidations++
 		}
-		return []bus.Response{resp}
+		return append(out, resp)
 	}
 	switch req.Op {
 	case bus.LR:
@@ -66,13 +71,13 @@ func (a *SingleSlot) Handle(req bus.Request, s mem.Storage) []bus.Response {
 			a.held, a.valid = true, true
 			a.core, a.addr = req.Src, req.Addr
 			a.Stats.Grants++
-			return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-				Data: s.Read(req.Addr), OK: true}}
+			return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+				Data: s.Read(req.Addr), OK: true})
 		}
 		// Slot occupied by another core: read without a reservation.
 		a.Stats.Refused++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: true}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: true})
 	case bus.SC:
 		if a.held && a.core == req.Src {
 			// The holder's SC frees the slot whether or not the
@@ -82,26 +87,26 @@ func (a *SingleSlot) Handle(req bus.Request, s mem.Storage) []bus.Response {
 			if ok {
 				s.Write(req.Addr, req.Data)
 				a.Stats.SCSuccess++
-				return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true}}
+				return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true})
 			}
 			a.Stats.SCFail++
-			return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+			return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 		}
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.LRWait, bus.MWait:
 		// Not supported by this unit: refuse (software retries via the
 		// failing SCwait, same contract as a full LRSCwait queue).
 		a.Stats.Refused++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	case bus.SCWait:
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.WakeUpReq:
-		return nil
+		return out
 	}
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 }
 
 // Table is an ATUN-style reservation table: one reservation entry per core,
@@ -139,36 +144,41 @@ func (a *Table) invalidate(addr uint32) {
 
 // Handle implements mem.Adapter.
 func (a *Table) Handle(req bus.Request, s mem.Storage) []bus.Response {
+	return a.HandleAppend(req, s, nil)
+}
+
+// HandleAppend implements mem.AppendAdapter.
+func (a *Table) HandleAppend(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if resp, wrote, ok := mem.HandleBasic(req, s); ok {
 		if wrote {
 			a.invalidate(req.Addr)
 		}
-		return []bus.Response{resp}
+		return append(out, resp)
 	}
 	switch req.Op {
 	case bus.LR:
 		a.addr[req.Src], a.valid[req.Src] = req.Addr, true
 		a.Stats.Grants++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: true}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: true})
 	case bus.SC:
 		if a.valid[req.Src] && a.addr[req.Src] == req.Addr {
 			s.Write(req.Addr, req.Data)
 			a.invalidate(req.Addr) // clears own and competitors' reservations
 			a.Stats.SCSuccess++
-			return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true}}
+			return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: true})
 		}
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.LRWait, bus.MWait:
 		a.Stats.Refused++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	case bus.SCWait:
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.WakeUpReq:
-		return nil
+		return out
 	}
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 }

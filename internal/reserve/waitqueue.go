@@ -145,8 +145,13 @@ func (a *WaitQueue) onWrite(addr uint32, s mem.Storage, out []bus.Response) []bu
 
 // Handle implements mem.Adapter.
 func (a *WaitQueue) Handle(req bus.Request, s mem.Storage) []bus.Response {
+	return a.HandleAppend(req, s, nil)
+}
+
+// HandleAppend implements mem.AppendAdapter.
+func (a *WaitQueue) HandleAppend(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if resp, wrote, ok := mem.HandleBasic(req, s); ok {
-		out := []bus.Response{resp}
+		out = append(out, resp)
 		if wrote {
 			out = a.onWrite(req.Addr, s, out)
 		}
@@ -154,56 +159,56 @@ func (a *WaitQueue) Handle(req bus.Request, s mem.Storage) []bus.Response {
 	}
 	switch req.Op {
 	case bus.LRWait, bus.MWait:
-		return a.handleWait(req, s)
+		return a.handleWait(req, s, out)
 	case bus.SCWait:
-		return a.handleSCWait(req, s)
+		return a.handleSCWait(req, s, out)
 	case bus.LR, bus.SC:
 		// Plain LRSC is replaced by LRSCwait on this unit; fail SCs so
 		// mixed software falls back to its retry path.
 		if req.Op == bus.LR {
-			return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-				Data: s.Read(req.Addr), OK: false}}
+			return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+				Data: s.Read(req.Addr), OK: false})
 		}
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	case bus.WakeUpReq:
-		return nil
+		return out
 	}
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 }
 
-func (a *WaitQueue) handleWait(req bus.Request, s mem.Storage) []bus.Response {
+func (a *WaitQueue) handleWait(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	if len(a.slots) >= a.capacity {
 		a.Stats.Refused++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-			Data: s.Read(req.Addr), OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+			Data: s.Read(req.Addr), OK: false})
 	}
 	if a.hasAddr(req.Addr) {
 		// Someone is ahead of us: buffer, respond later.
 		a.slots = append(a.slots, slot{core: req.Src, addr: req.Addr,
 			op: req.Op, expected: req.Data, state: slotWaiting})
-		return nil
+		return out
 	}
 	// Queue empty for this address: serve immediately.
 	val := s.Read(req.Addr)
 	if req.Op == bus.MWait {
 		if val != req.Data {
 			a.Stats.Grants++
-			return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-				Data: val, OK: true}}
+			return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+				Data: val, OK: true})
 		}
 		a.slots = append(a.slots, slot{core: req.Src, addr: req.Addr,
 			op: req.Op, expected: req.Data, state: slotServedMwait})
-		return nil
+		return out
 	}
 	a.slots = append(a.slots, slot{core: req.Src, addr: req.Addr,
 		op: req.Op, state: slotServedLR, resValid: true})
 	a.Stats.Grants++
-	return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr,
-		Data: val, OK: true}}
+	return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr,
+		Data: val, OK: true})
 }
 
-func (a *WaitQueue) handleSCWait(req bus.Request, s mem.Storage) []bus.Response {
+func (a *WaitQueue) handleSCWait(req bus.Request, s mem.Storage, out []bus.Response) []bus.Response {
 	idx := -1
 	for i := range a.slots {
 		if a.slots[i].addr == req.Addr && a.slots[i].core == req.Src &&
@@ -216,11 +221,10 @@ func (a *WaitQueue) handleSCWait(req bus.Request, s mem.Storage) []bus.Response 
 		// No served reservation for this core (refused LRwait, double
 		// SCwait, or software bug): fail without disturbing the queue.
 		a.Stats.SCFail++
-		return []bus.Response{{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false}}
+		return append(out, bus.Response{Dst: req.Src, Op: req.Op, Addr: req.Addr, OK: false})
 	}
 	ok := a.slots[idx].resValid
 	a.remove(idx)
-	var out []bus.Response
 	if ok {
 		s.Write(req.Addr, req.Data)
 		a.Stats.SCSuccess++

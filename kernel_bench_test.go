@@ -65,8 +65,9 @@ func hotSystem(topo noc.Topology, parts int) *platform.System {
 
 // benchTickKernels measures simulated cycles/second of the scheduled,
 // dense and partitioned loops on the same prebuilt workload. The par
-// variants shard the system across OS threads (auto = min(GOMAXPROCS,
-// tiles); par8 pins eight partitions for cross-host comparability) —
+// variants shard the system across OS threads (auto = adaptive: measure
+// per-cycle work over a calibration window, then shard only if it pays;
+// par8 pins eight partitions for cross-host comparability) —
 // bit-identical results, so the only interesting number is the rate.
 func benchTickKernels(b *testing.B, build func(noc.Topology, int) *platform.System, cyclesPerIter int) {
 	for _, tc := range kernelTopos() {
@@ -81,6 +82,13 @@ func benchTickKernels(b *testing.B, build func(noc.Topology, int) *platform.Syst
 			{"kernel=par8", 8, func(sys *platform.System, n int) { sys.RunParallel(n) }},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", tc.name, k.name), func(b *testing.B) {
+				if testing.Short() && k.name == "kernel=dense" && tc.topo.NumCores() >= 1024 {
+					// Dense ticking walks all ~5k components of the
+					// 1024-core machine every cycle (~300ms per 2k-cycle
+					// iteration); -short keeps the smoke run snappy and
+					// the 16/256-core variants retain the comparison.
+					b.Skip("skipping dense 1024-core variant in -short mode")
+				}
 				sys := build(tc.topo, k.parts)
 				// Settle the workload (grants delivered, sleepers
 				// parked) on the loop under test before timing.
@@ -94,6 +102,90 @@ func benchTickKernels(b *testing.B, build func(noc.Topology, int) *platform.Syst
 				b.ReportMetric(cycles/b.Elapsed().Seconds(), "cycles/sec")
 			})
 		}
+	}
+}
+
+// quietSystem builds a traffic-heavy but tile-local workload: every core
+// hammers an AMO counter in its own tile's banks forever. The link and
+// group router classes never carry a flit, so the partitioned kernel's
+// quiet-cross-tile predicate holds every cycle and epoch batching fuses
+// the four phase barriers into one — the regime the batching optimisation
+// targets. Compare kernel=par8 fused=on vs fused=off.
+func quietSystem(topo noc.Topology, parts int) *platform.System {
+	prog := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.CoreID(isa.T0)
+		b.Srli(isa.T1, isa.T0, 2) // tile = core / CoresPerTile
+		b.Slli(isa.T1, isa.T1, 4) // first bank word of the tile
+		b.Andi(isa.T2, isa.T0, 3)
+		b.Add(isa.T1, isa.T1, isa.T2)
+		b.Slli(isa.T1, isa.T1, 2) // byte address of a same-tile bank word
+		b.Li(isa.T2, 1)
+		b.Label("loop")
+		b.AmoAdd(isa.Zero, isa.T2, isa.T1)
+		b.J("loop")
+		return b.MustBuild()
+	}()
+	cfg := platform.Config{Topo: topo, Policy: platform.PolicyPlain, Partitions: parts}
+	return platform.New(cfg, platform.SameProgram(prog))
+}
+
+// BenchmarkTickQuietSpan isolates the epoch-batching win: a fully busy
+// machine whose traffic never crosses a tile boundary. With fusing on,
+// the partitioned kernel issues one barrier per cycle instead of four;
+// the delta between fused=on and fused=off is pure synchronisation
+// overhead (on a 1-CPU host it shows up as reduced par8 overhead rather
+// than speedup over sched).
+func BenchmarkTickQuietSpan(b *testing.B) {
+	const cyclesPerIter = 2000
+	defer func(prev bool) { platform.FusedCyclesEnabled = prev }(platform.FusedCyclesEnabled)
+	for _, tc := range kernelTopos() {
+		for _, k := range []struct {
+			name  string
+			parts int
+			fused bool
+		}{
+			{"kernel=sched", 0, true},
+			{"kernel=par8/fused=on", 8, true},
+			{"kernel=par8/fused=off", 8, false},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, k.name), func(b *testing.B) {
+				platform.FusedCyclesEnabled = k.fused
+				sys := quietSystem(tc.topo, k.parts)
+				sys.Run(500)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.Run(cyclesPerIter)
+				}
+				b.StopTimer()
+				cycles := float64(cyclesPerIter) * float64(b.N)
+				b.ReportMetric(cycles/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
+}
+
+// TestTickSteadyStateZeroAlloc pins the hot path's allocation-free
+// invariant: once a busy workload has settled (scratch buffers grown,
+// wake heap at capacity), a System.Tick must not touch the heap at all —
+// for the scheduled kernel and for the partitioned kernel's inline Tick
+// alike. CI fails on any regression here, because a single alloc per
+// component tick is what the zero-alloc refactor removed.
+func TestTickSteadyStateZeroAlloc(t *testing.T) {
+	for _, k := range []struct {
+		name  string
+		parts int
+	}{
+		{"kernel=sched", 0},
+		{"kernel=par2", 2},
+	} {
+		t.Run(k.name, func(t *testing.T) {
+			sys := hotSystem(noc.Small(), k.parts)
+			sys.Run(500) // settle: grants delivered, scratch buffers warm
+			if avg := testing.AllocsPerRun(100, func() { sys.Tick() }); avg != 0 {
+				t.Errorf("steady-state Tick allocates %.2f objects/op, want 0", avg)
+			}
+		})
 	}
 }
 

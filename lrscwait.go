@@ -100,9 +100,12 @@ type (
 )
 
 // PartitionsAuto, as Config.Partitions or SetDefaultPartitions value,
-// shards each system across min(GOMAXPROCS, tiles) OS threads. Any
-// partition count produces bit-identical results; it is purely a
-// wall-clock knob.
+// shards each system adaptively: it starts on the sequential kernel,
+// measures the average per-cycle component activity, and migrates
+// mid-run to as many partitions (capped at min(GOMAXPROCS, tiles)) as
+// the measured work can amortize — cold or small systems stay
+// sequential. Any partition count produces bit-identical results; it
+// is purely a wall-clock knob.
 const PartitionsAuto = platform.PartitionsAuto
 
 // SetDefaultPartitions sets the process-wide default kernel partition
